@@ -1,0 +1,311 @@
+package delorean
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (one benchmark per artifact) plus the ablations
+// DESIGN.md calls out. Benchmarks print their rendered tables once and
+// report headline values as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation at a laptop-friendly scale.
+// EXPERIMENTS.md records a full-scale run against the paper's numbers;
+// cmd/delorean-exp re-runs any artifact at any scale.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/core"
+	"delorean/internal/experiments"
+	"delorean/internal/sim"
+	"delorean/internal/workload"
+)
+
+// benchConfig is the shared evaluation scale for the figure benchmarks.
+func benchConfig() experiments.Config {
+	return experiments.Config{Procs: 8, Scale: 60_000, Seed: 1, ReplayRuns: 2}
+}
+
+var printOnce sync.Map
+
+// emit prints a rendered artifact once per process (benchmarks may run
+// multiple iterations).
+func emit(name, table string) {
+	if _, dup := printOnce.LoadOrStore(name, true); !dup {
+		fmt.Printf("\n%s\n", table)
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := sim.Default8()
+		emit("table5", experiments.RenderTable5(m))
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig6", experiments.RenderLogSize("Figure 6: OrderOnly PI+CS logs", rows))
+		for _, r := range rows {
+			if r.Group == "SP2-G.M." && r.ChunkSize == 2000 {
+				b.ReportMetric(r.TotalComp(), "bits/proc/kinst")
+				b.ReportMetric(r.TotalComp()/experiments.RTRReference, "fracOfRTR")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig7", experiments.RenderLogSize("Figure 7: PicoLog CS log (no PI log)", rows))
+		for _, r := range rows {
+			if r.Group == "SP2-G.M." && r.ChunkSize == 1000 {
+				b.ReportMetric(r.TotalComp(), "bits/proc/kinst")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig8", experiments.RenderLogSize("Figure 8: Order&Size PI+size logs", rows))
+		for _, r := range rows {
+			if r.Group == "SP2-G.M." && r.ChunkSize == 2000 {
+				b.ReportMetric(r.TotalComp(), "bits/proc/kinst")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig9", experiments.RenderFig9(rows))
+		for _, r := range rows {
+			if r.Group == "SP2-G.M." && r.ChunksPerStratum == 1 {
+				b.ReportMetric(r.NormalizedSize, "normPIsize")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig10", experiments.RenderFig10(rows))
+		gm := rows[len(rows)-1]
+		b.ReportMetric(gm.OrderOnly, "OrderOnly_xRC")
+		b.ReportMetric(gm.PicoLog, "PicoLog_xRC")
+		b.ReportMetric(gm.SC, "SC_xRC")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig11", experiments.RenderFig11(rows))
+		for _, r := range rows {
+			if r.Workload == "SP2-G.M." && r.Mode == "OrderOnly" {
+				b.ReportMetric(r.Replay, "OOreplay_xRC")
+			}
+			if r.Workload == "SP2-G.M." && r.Mode == "PicoLog" {
+				b.ReportMetric(r.Replay, "PLreplay_xRC")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 20_000
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(cfg,
+			[]int{4, 8, 16}, []int{500, 1000, 2000}, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("fig12", experiments.RenderFig12(rows))
+		for _, r := range rows {
+			if r.Procs == 8 && r.ChunkSize == 1000 && r.SimulChunks == 2 {
+				b.ReportMetric(r.Speedup, "PicoLog8p_xRC")
+			}
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table6", experiments.RenderTable6(rows))
+		for _, r := range rows {
+			if r.Workload == "raytrace" {
+				b.ReportMetric(r.TokenRoundtrip, "raytraceTokenRT")
+			}
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Baselines(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("baselines", experiments.RenderBaselines(rows))
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workloads = []string{"barnes", "lu", "water-sp"} // representative subset
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table1", experiments.RenderTable1(d))
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationSignatures compares Bulk signatures against the
+// exact-footprint oracle: the cost of conservative conflict detection is
+// the spurious squash rate and its cycle impact.
+func BenchmarkAblationSignatures(b *testing.B) {
+	run := func(exact bool) (bulksc.Stats, error) {
+		w := workload.Get("fft", workload.Params{NProcs: 8, Scale: 60_000, Seed: 1})
+		cfg := sim.Default8()
+		cfg.MaxInsts = 2_000_000_000
+		e := &bulksc.Engine{Cfg: cfg, Progs: w.Progs, Mem: w.InitMem(), ExactConflicts: exact}
+		st := e.Run()
+		if !st.Converged {
+			return st, fmt.Errorf("not converged")
+		}
+		return st, nil
+	}
+	for i := 0; i < b.N; i++ {
+		sig, err := run(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oracle, err := run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sig.SpuriousSquashes), "spuriousSquashes")
+		b.ReportMetric(float64(sig.Cycles)/float64(oracle.Cycles), "sigVsOracleCycles")
+		emit("ablation-sig", fmt.Sprintf(
+			"Ablation: signatures vs exact oracle on fft\n  signatures: %d cycles, %d squashes (%d spurious)\n  oracle:     %d cycles, %d squashes",
+			sig.Cycles, sig.Squashes, sig.SpuriousSquashes, oracle.Cycles, oracle.Squashes))
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps the standard chunk size on the
+// OrderOnly recorder: larger chunks shrink the PI log but increase the
+// squash exposure (the paper's §3.2 trade-off).
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out string
+		for _, cs := range []int{500, 1000, 2000, 4000} {
+			w := workload.Get("barnes", workload.Params{NProcs: 8, Scale: 60_000, Seed: 1})
+			cfg := sim.Default8()
+			cfg.ChunkSize = cs
+			cfg.MaxInsts = 2_000_000_000
+			rec, err := core.Record(cfg, core.OrderOnly, w.Progs, w.InitMem(), w.Devs, core.RecordOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out += fmt.Sprintf("  chunk %4d: %d cycles, %d squashes, %.3f bits/proc/kinst\n",
+				cs, rec.Stats.Cycles, rec.Stats.Squashes,
+				rec.BitsPerProcPerKinst(rec.MemOrderingCompressedBits()))
+		}
+		emit("ablation-chunk", "Ablation: chunk size on barnes (OrderOnly)\n"+out)
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulation speed (simulated
+// instructions per wall-clock second) — the practical limit on
+// experiment scale.
+func BenchmarkEngineThroughput(b *testing.B) {
+	w := workload.Get("water-ns", workload.Params{NProcs: 8, Scale: 100_000, Seed: 1})
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default8()
+		cfg.MaxInsts = 2_000_000_000
+		e := &bulksc.Engine{Cfg: cfg, Progs: w.Progs, Mem: w.InitMem()}
+		st := e.Run()
+		insts += st.Insts + st.WastedInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minsts/s")
+}
+
+// BenchmarkRecordReplayRoundTrip measures a full record+verified-replay
+// cycle through the public API.
+func BenchmarkRecordReplayRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := NewWorkload("raytrace", 8, 60_000, 1)
+		rec, err := Record(DefaultConfig(), OrderOnly, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := rec.Replay(ReplayWith{PerturbSeed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Deterministic {
+			b.Fatal("replay diverged")
+		}
+	}
+}
+
+// BenchmarkTSOStudy measures the paper's unanswered Advanced-RTR cells:
+// TSO recording speed and the value-augmented log size.
+func BenchmarkTSOStudy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TSOStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("tso", experiments.RenderTSO(rows))
+		gm := rows[len(rows)-1]
+		b.ReportMetric(gm.TSOSpeed, "TSO_xRC")
+		b.ReportMetric(gm.AdvRTRLog, "AdvRTRbits")
+	}
+}

@@ -1,0 +1,130 @@
+// Command delorean-trace inspects a saved recording: header, log sizes,
+// the commit interleaving, and the input logs — the "what did the
+// machine actually do" view a replay-debugging session starts from.
+//
+// Usage:
+//
+//	delorean record ... -save run.rec
+//	delorean-trace run.rec [-pi 40] [-cs] [-inputs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/core"
+)
+
+func main() {
+	var (
+		piN    = flag.Int("pi", 32, "PI log entries to print (0: none)")
+		showCS = flag.Bool("cs", true, "print CS (truncation) log entries")
+		showIn = flag.Bool("inputs", true, "print input-log summaries")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: delorean-trace [flags] recording-file")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rec, err := core.ReadRecording(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(rec.String())
+	fmt.Printf("  fingerprint %016x, final memory hash %016x\n", rec.Fingerprint, rec.FinalMemHash)
+	fmt.Printf("  checkpoint: %d nonzero words\n", len(rec.InitialMem))
+	fmt.Printf("  execution: %d cycles, %d instructions, %d chunks\n\n",
+		rec.Stats.Cycles, rec.Stats.Insts, rec.Stats.Chunks)
+
+	if rec.PI != nil && *piN > 0 {
+		entries := rec.PI.Entries()
+		n := *piN
+		if n > len(entries) {
+			n = len(entries)
+		}
+		fmt.Printf("PI log (%d entries, first %d; %d = DMA):\n  ", rec.PI.Len(), n, rec.NProcs)
+		for i := 0; i < n; i++ {
+			if entries[i] == bulksc.DMAProc(rec.NProcs) {
+				fmt.Print("D ")
+			} else {
+				fmt.Printf("%d ", entries[i])
+			}
+		}
+		if n < len(entries) {
+			fmt.Print("...")
+		}
+		fmt.Println()
+		// Per-processor commit counts.
+		counts := make([]int, rec.NProcs+1)
+		for _, p := range entries {
+			counts[p]++
+		}
+		fmt.Print("  per-proc commits: ")
+		for p, c := range counts {
+			if p == rec.NProcs {
+				fmt.Printf("DMA=%d", c)
+			} else {
+				fmt.Printf("p%d=%d ", p, c)
+			}
+		}
+		fmt.Println()
+	} else if rec.PI == nil {
+		fmt.Println("PI log: none (PicoLog: commit order is predefined round-robin)")
+	}
+	fmt.Println()
+
+	if *showCS {
+		total := 0
+		for p, cs := range rec.CS {
+			for _, e := range cs.Entries() {
+				fmt.Printf("CS p%d: chunk %d truncated at %d instructions\n", p, e.SeqID, e.Size)
+				total++
+			}
+		}
+		if total == 0 {
+			fmt.Println("CS log: empty (no non-deterministic truncations)")
+		}
+		if rec.Sizes != nil {
+			n := 0
+			for _, sl := range rec.Sizes {
+				n += sl.Len()
+			}
+			fmt.Printf("size log (Order&Size): %d chunk sizes recorded\n", n)
+		}
+		fmt.Println()
+	}
+
+	if *showIn {
+		for p, il := range rec.Intr {
+			for _, e := range il.Entries() {
+				urgency := ""
+				if e.Urgent {
+					urgency = " (high priority)"
+				}
+				fmt.Printf("interrupt p%d: handler at chunk %d, type %d, data %#x%s\n",
+					p, e.SeqID, e.Type, e.Data, urgency)
+			}
+		}
+		for p, io := range rec.IO {
+			if io.Len() > 0 {
+				fmt.Printf("I/O p%d: %d logged load values\n", p, io.Len())
+			}
+		}
+		for i, e := range rec.DMA.Entries() {
+			fmt.Printf("DMA %d: %d words at %#x (commit slot %d)\n", i, len(e.Data), e.Addr, e.Slot)
+		}
+		for _, e := range rec.Slots.Entries() {
+			fmt.Printf("urgent commit: proc %d at slot %d\n", e.Proc, e.Slot)
+		}
+	}
+}

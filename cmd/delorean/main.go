@@ -1,0 +1,154 @@
+// Command delorean records a workload on the chunked multiprocessor and
+// deterministically replays it, printing execution statistics and log
+// sizes.
+//
+// Usage:
+//
+//	delorean [flags]
+//
+//	-workload name   built-in workload (default raytrace; see -list)
+//	-mode m          ordersize | orderonly | picolog (default orderonly)
+//	-procs n         processor count (default 8)
+//	-scale n         ~instructions per processor (default 100000)
+//	-chunk n         standard chunk size (default 2000; picolog: 1000)
+//	-replays n       perturbed replay runs to verify (default 5)
+//	-stratify n      also build the stratified PI log (chunks/stratum)
+//	-seed n          workload seed
+//	-list            list workloads and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"delorean"
+)
+
+func main() {
+	var (
+		wname    = flag.String("workload", "raytrace", "built-in workload name")
+		modeStr  = flag.String("mode", "orderonly", "ordersize | orderonly | picolog")
+		procs    = flag.Int("procs", 8, "processor count")
+		scale    = flag.Int("scale", 100_000, "approximate instructions per processor")
+		chunk    = flag.Int("chunk", 0, "standard chunk size (0: mode default)")
+		replays  = flag.Int("replays", 5, "perturbed replay runs")
+		stratify = flag.Int("stratify", 0, "stratified PI log chunks/stratum (0: off)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		savePath = flag.String("save", "", "save the recording to this file")
+		loadPath = flag.String("load", "", "replay a previously saved recording instead of recording")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(delorean.WorkloadNames(), "\n"))
+		return
+	}
+
+	var mode delorean.Mode
+	switch strings.ToLower(*modeStr) {
+	case "ordersize", "order&size":
+		mode = delorean.OrderSize
+	case "orderonly":
+		mode = delorean.OrderOnly
+	case "picolog":
+		mode = delorean.PicoLog
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+
+	cfg := delorean.DefaultConfig()
+	cfg.Processors = *procs
+	cfg.Stratify = *stratify
+	if *chunk > 0 {
+		cfg.ChunkSize = *chunk
+	} else if mode == delorean.PicoLog {
+		cfg.ChunkSize = 1000
+	}
+
+	w := delorean.NewWorkload(*wname, *procs, *scale, *seed)
+	var rec *delorean.Recording
+	var err error
+	if *loadPath != "" {
+		f, ferr := os.Open(*loadPath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		rec, err = delorean.LoadRecording(f, cfg, w)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded recording from %s: %s\n", *loadPath, rec.Summary())
+	} else {
+		fmt.Printf("recording %s in %s mode (%d procs, chunk %d, ~%d insts/proc)...\n",
+			*wname, mode, *procs, cfg.ChunkSize, *scale)
+		rec, err = delorean.Record(cfg, mode, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "record failed:", err)
+			os.Exit(1)
+		}
+	}
+	if *savePath != "" {
+		f, ferr := os.Create(*savePath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		if err := rec.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "save failed:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, _ := os.Stat(*savePath)
+		fmt.Printf("saved recording to %s (%d bytes)\n", *savePath, st.Size())
+	}
+
+	st := rec.Stats()
+	fmt.Printf("\ninitial execution:\n")
+	fmt.Printf("  cycles            %d\n", st.Cycles)
+	fmt.Printf("  instructions      %d\n", st.Instructions)
+	fmt.Printf("  chunks committed  %d\n", st.Chunks)
+	fmt.Printf("  squashes          %d\n", st.Squashes)
+	if st.Interrupts+st.IOOps+st.DMAs > 0 {
+		fmt.Printf("  interrupts/io/dma %d / %d / %d\n", st.Interrupts, st.IOOps, st.DMAs)
+	}
+	fmt.Printf("\nmemory-ordering log:\n")
+	fmt.Printf("  raw               %d bits\n", rec.LogBits(false))
+	fmt.Printf("  compressed        %d bits (%.3f bits/proc/kinst)\n",
+		rec.LogBits(true), rec.BitsPerProcPerKinst())
+	if *stratify > 0 {
+		fmt.Printf("  stratified PI     %d bits compressed\n", rec.StratifiedLogBits())
+	}
+	fmt.Printf("  at 5 GHz, IPC 1   ~%.1f GB/day\n", rec.EstimateLogGBPerDay(5e9))
+
+	fmt.Printf("\nreplaying %d perturbed runs...\n", *replays)
+	for i := 0; i < *replays; i++ {
+		res, err := rec.Replay(delorean.ReplayWith{
+			PerturbSeed:   uint64(1000*i + 17),
+			UseStratified: *stratify > 0,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay failed:", err)
+			os.Exit(1)
+		}
+		verdict := "DETERMINISTIC"
+		if !res.Deterministic {
+			verdict = "DIVERGED"
+		}
+		speed := float64(st.Cycles) / float64(res.Stats.Cycles)
+		fmt.Printf("  run %d: %s (%.0f%% of initial speed)\n", i+1, verdict, 100*speed)
+		if !res.Deterministic {
+			os.Exit(1)
+		}
+	}
+	fmt.Println("\nall replays reproduced the recording exactly.")
+}

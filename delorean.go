@@ -1,0 +1,364 @@
+// Package delorean is a Go reproduction of "DeLorean: Recording and
+// Deterministically Replaying Shared-Memory Multiprocessor Execution
+// Efficiently" (Montesinos, Ceze, Torrellas — ISCA 2008).
+//
+// DeLorean records a multithreaded execution on a chunk-based
+// multiprocessor (processors execute blocks of instructions atomically,
+// as in transactional memory) by logging only the total order of chunk
+// commits — orders of magnitude less than schemes that log individual
+// memory dependences — and replays it deterministically at near-initial
+// speed. This package is the public face of the reproduction: configure
+// a machine, run a workload (built-in or hand-assembled) in one of the
+// paper's three execution modes, inspect the logs, and replay under
+// perturbed timing with verified determinism.
+//
+//	w := delorean.NewWorkload("raytrace", 8, 100000, 1)
+//	rec, err := delorean.Record(delorean.DefaultConfig(), delorean.OrderOnly, w)
+//	...
+//	res, err := rec.Replay(delorean.ReplayWith{PerturbSeed: 42})
+//	fmt.Println(res.Deterministic) // true
+//
+// The full simulator substrate (BulkSC-style chunked engine, SC/RC
+// baseline machines, FDR/RTR/Strata recorders, the evaluation harnesses
+// for every table and figure in the paper) lives under internal/; the
+// cmd/ binaries and examples/ directory drive it.
+package delorean
+
+import (
+	"fmt"
+	"io"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/core"
+	"delorean/internal/device"
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/sim"
+	"delorean/internal/workload"
+)
+
+// Mode selects DeLorean's execution mode (paper Table 2): the trade-off
+// between recording speed and log size.
+type Mode int
+
+const (
+	// OrderSize logs the commit interleaving and every chunk's size
+	// (non-deterministic chunking).
+	OrderSize Mode = iota
+	// OrderOnly logs only the commit interleaving; chunking is
+	// deterministic. The paper's headline mode: records at ~RC speed
+	// with ~1-2 bits per processor per kilo-instruction.
+	OrderOnly
+	// PicoLog predefines the commit order (round-robin): the
+	// memory-ordering log all but vanishes, at some execution-speed cost.
+	PicoLog
+)
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string { return coreMode(m).String() }
+
+func coreMode(m Mode) core.Mode {
+	switch m {
+	case OrderSize:
+		return core.OrderSize
+	case OrderOnly:
+		return core.OrderOnly
+	case PicoLog:
+		return core.PicoLog
+	}
+	panic(fmt.Sprintf("delorean: unknown mode %d", int(m)))
+}
+
+// Config describes the simulated chip multiprocessor. The zero value is
+// not usable; start from DefaultConfig.
+type Config struct {
+	// Processors is the core count (the paper evaluates 4, 8 and 16).
+	Processors int
+	// ChunkSize is the standard chunk size in instructions (paper: 2000
+	// for Order&Size/OrderOnly, 1000 for PicoLog).
+	ChunkSize int
+	// SimulChunks is the number of simultaneous uncommitted chunks per
+	// processor (paper: 2).
+	SimulChunks int
+	// Stratify, when > 0, additionally builds the Strata-reorganized PI
+	// log with that many chunks per processor per stratum (paper §4.3).
+	Stratify int
+	// ExactConflicts replaces Bulk signatures with an exact-footprint
+	// oracle for squash decisions (ablation).
+	ExactConflicts bool
+	// CheckpointEvery, when > 0, takes a system checkpoint every that
+	// many chunk commits during recording; ReplayFromCheckpoint can then
+	// replay any interval (continuous-recording use).
+	CheckpointEvery uint64
+	// MaxInstructions bounds a run (0: a large default); runs exceeding
+	// it report an error instead of hanging on a livelocked program.
+	MaxInstructions uint64
+}
+
+// DefaultConfig returns the paper's Table 5 machine: 8 processors,
+// 2000-instruction chunks, 2 simultaneous chunks per processor.
+func DefaultConfig() Config {
+	return Config{Processors: 8, ChunkSize: 2000, SimulChunks: 2}
+}
+
+func (c Config) machine() sim.Config {
+	m := sim.Default8()
+	if c.Processors > 0 {
+		m.NProcs = c.Processors
+	}
+	if c.ChunkSize > 0 {
+		m.ChunkSize = c.ChunkSize
+	}
+	if c.SimulChunks > 0 {
+		m.SimulChunks = c.SimulChunks
+	}
+	if c.MaxInstructions > 0 {
+		m.MaxInsts = c.MaxInstructions
+	} else {
+		m.MaxInsts = 2_000_000_000
+	}
+	return m
+}
+
+// Workload is a runnable benchmark: programs, optional device activity
+// (interrupts, I/O, DMA), and initial memory.
+type Workload = workload.Workload
+
+// WorkloadNames lists the built-in workloads: eleven SPLASH-2-like
+// kernels plus sjbb2k and sweb2005.
+func WorkloadNames() []string { return workload.Names() }
+
+// NewWorkload builds a built-in workload instance. scale is the
+// approximate dynamic instruction count per processor. It panics on an
+// unknown name (use WorkloadNames).
+func NewWorkload(name string, procs, scale int, seed uint64) *Workload {
+	return workload.Get(name, workload.Params{NProcs: procs, Scale: scale, Seed: seed})
+}
+
+// Asm assembles custom programs for the simulated ISA; see NewProgram
+// for the calling convention. Program is the assembled form.
+type (
+	Asm     = isa.Asm
+	Program = isa.Program
+)
+
+// NewAsm returns an empty assembler. By loader convention the program
+// starts with r15 = processor ID, r14 = processor count; call LockInit
+// before using the Lock/Unlock/Barrier macros.
+func NewAsm() *Asm { return isa.NewAsm() }
+
+// CustomWorkload wraps hand-assembled programs into a Workload: pass one
+// program to replicate it across all processors (the program reads its
+// processor ID from r15), or exactly procs programs for heterogeneous
+// threads. Any other count panics — a construction bug.
+func CustomWorkload(name string, procs int, progs ...*Program) *Workload {
+	if len(progs) != 1 && len(progs) != procs {
+		panic(fmt.Sprintf("delorean: CustomWorkload %q: %d programs for %d processors", name, len(progs), procs))
+	}
+	ps := make([]*isa.Program, procs)
+	for i := range ps {
+		if len(progs) == 1 {
+			ps[i] = progs[0]
+		} else {
+			ps[i] = progs[i]
+		}
+	}
+	return &Workload{Name: name, Progs: ps}
+}
+
+// ExecStats summarizes one execution.
+type ExecStats struct {
+	Cycles       uint64
+	Instructions uint64
+	Chunks       uint64
+	Squashes     uint64
+	Interrupts   uint64
+	IOOps        uint64
+	DMAs         uint64
+}
+
+func execStats(st bulksc.Stats) ExecStats {
+	return ExecStats{
+		Cycles:       st.Cycles,
+		Instructions: st.Insts,
+		Chunks:       st.Chunks,
+		Squashes:     st.Squashes,
+		Interrupts:   st.Interrupts,
+		IOOps:        st.IOOps,
+		DMAs:         st.DMAs,
+	}
+}
+
+// Recording is a captured execution: the memory-ordering and input logs
+// plus everything needed to replay.
+type Recording struct {
+	rec   *core.Recording
+	cfg   Config
+	progs []*isa.Program
+}
+
+// Record executes the workload on the chunked machine in the given mode
+// and captures a Recording. The workload's initial memory is the system
+// checkpoint replay will restart from.
+func Record(cfg Config, mode Mode, w *Workload) (*Recording, error) {
+	m := cfg.machine()
+	memory := w.InitMem()
+	rec, err := core.Record(m, coreMode(mode), w.Progs, memory, w.Devs, core.RecordOptions{
+		StratifyMax:     cfg.Stratify,
+		ExactConflicts:  cfg.ExactConflicts,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("delorean: record %s: %w", w.Name, err)
+	}
+	return &Recording{rec: rec, cfg: cfg, progs: w.Progs}, nil
+}
+
+// Mode returns the recording's execution mode.
+func (r *Recording) Mode() Mode { return Mode(r.rec.Mode) }
+
+// Stats returns the initial execution's statistics.
+func (r *Recording) Stats() ExecStats { return execStats(r.rec.Stats) }
+
+// LogBits returns the memory-ordering log size in bits (PI + CS logs;
+// input logs excluded, following the paper's metric), raw or
+// LZ77-compressed.
+func (r *Recording) LogBits(compressed bool) int {
+	if compressed {
+		return r.rec.MemOrderingCompressedBits()
+	}
+	return r.rec.MemOrderingRawBits()
+}
+
+// BitsPerProcPerKinst expresses the compressed memory-ordering log in
+// the paper's unit: bits per processor per kilo-instruction.
+func (r *Recording) BitsPerProcPerKinst() float64 {
+	return r.rec.BitsPerProcPerKinst(r.rec.MemOrderingCompressedBits())
+}
+
+// StratifiedLogBits returns the compressed stratified PI log size, if
+// the recording was made with Config.Stratify > 0 (otherwise 0).
+func (r *Recording) StratifiedLogBits() int {
+	if r.rec.Stratified == nil {
+		return 0
+	}
+	return r.rec.Stratified.CompressedBits()
+}
+
+// Summary returns a one-line description.
+func (r *Recording) Summary() string { return r.rec.String() }
+
+// ReplayWith tunes a replay run.
+type ReplayWith struct {
+	// PerturbSeed, when nonzero, injects the paper's §6.2.1 timing noise
+	// (random stalls before 30% of commits, 1.5% of cache hits and misses
+	// flipped) — determinism must hold regardless.
+	PerturbSeed uint64
+	// UseStratified enforces the stratified PI log instead of the exact
+	// commit sequence (requires Config.Stratify at record time).
+	UseStratified bool
+}
+
+// ReplayResult reports a replay run.
+type ReplayResult struct {
+	// Deterministic is true when the replay reproduced the recording
+	// exactly: same per-processor chunk and input streams, same final
+	// memory state.
+	Deterministic bool
+	Stats         ExecStats
+}
+
+// Replay re-executes the recording deterministically on the paper's
+// replay configuration (serial commit, 50-cycle arbitration).
+func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
+	ro := core.ReplayOptions{
+		UseStratified:  opts.UseStratified,
+		ExactConflicts: r.cfg.ExactConflicts,
+	}
+	if opts.PerturbSeed != 0 {
+		ro.Perturb = bulksc.DefaultPerturb(opts.PerturbSeed)
+	}
+	res, err := core.Replay(r.rec, core.ReplayConfig(r.cfg.machine()), r.progs, ro)
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("delorean: replay: %w", err)
+	}
+	return ReplayResult{Deterministic: res.Matches(r.rec), Stats: execStats(res.Stats)}, nil
+}
+
+// RunUnordered executes the recording's programs again on the chunked
+// machine WITHOUT enforcing the recorded order — the control experiment
+// showing that determinism comes from the logs. It returns whether the
+// re-execution happened to reproduce the recording's final state (for a
+// racy workload under different timing: almost surely false).
+func (r *Recording) RunUnordered(perturbArbiter bool) (bool, ExecStats, error) {
+	m := r.cfg.machine()
+	if perturbArbiter {
+		m = core.ReplayConfig(m) // different commit timing than recording
+	}
+	memory := mem.New()
+	memory.Restore(r.rec.InitialMem)
+	rec2, err := core.Record(m, r.rec.Mode, r.progs, memory, device.New(0), core.RecordOptions{})
+	if err != nil {
+		return false, ExecStats{}, fmt.Errorf("delorean: unordered run: %w", err)
+	}
+	same := rec2.FinalMemHash == r.rec.FinalMemHash && rec2.Fingerprint == r.rec.Fingerprint
+	return same, execStats(rec2.Stats), nil
+}
+
+// Checkpoints returns how many interval checkpoints the recording holds
+// (zero unless recorded with Config.CheckpointEvery).
+func (r *Recording) Checkpoints() int { return len(r.rec.Checkpoints) }
+
+// ReplayFromCheckpoint deterministically replays the interval from the
+// idx-th checkpoint to the end of the recording (the paper's Appendix B
+// I(n, m)): memory restores from the checkpoint, processors resume from
+// their saved chunk boundaries, and the log suffixes drive ordering and
+// inputs.
+func (r *Recording) ReplayFromCheckpoint(idx int, opts ReplayWith) (ReplayResult, error) {
+	ro := core.ReplayOptions{ExactConflicts: r.cfg.ExactConflicts}
+	if opts.PerturbSeed != 0 {
+		ro.Perturb = bulksc.DefaultPerturb(opts.PerturbSeed)
+	}
+	res, err := core.ReplayFromCheckpoint(r.rec, idx, core.ReplayConfig(r.cfg.machine()), r.progs, ro)
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("delorean: interval replay: %w", err)
+	}
+	return ReplayResult{Deterministic: res.MatchesInterval(r.rec, idx), Stats: execStats(res.Stats)}, nil
+}
+
+// Save serializes the recording (logs, checkpoint, verification hashes)
+// so it can be replayed later or elsewhere; Load it back with
+// LoadRecording and the same workload programs.
+func (r *Recording) Save(w io.Writer) error {
+	_, err := r.rec.WriteTo(w)
+	return err
+}
+
+// LoadRecording deserializes a recording saved with Save. The workload
+// must be regenerated identically (same name/parameters or the same
+// custom programs); cfg supplies machine parameters not stored in the
+// recording (the processor count and chunk size come from the file).
+func LoadRecording(src io.Reader, cfg Config, w *Workload) (*Recording, error) {
+	rec, err := core.ReadRecording(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.Progs) != rec.NProcs {
+		return nil, fmt.Errorf("delorean: recording has %d processors, workload has %d", rec.NProcs, len(w.Progs))
+	}
+	cfg.Processors = rec.NProcs
+	cfg.ChunkSize = rec.ChunkSize
+	return &Recording{rec: rec, cfg: cfg, progs: w.Progs}, nil
+}
+
+// EstimateLogGBPerDay extrapolates the recording's compressed
+// memory-ordering log rate to a machine of the given clock frequency
+// (Hz) assuming one instruction per cycle per processor — the paper's
+// "about 20GB per day for an 8-processor 5-GHz machine" estimate for
+// PicoLog.
+func (r *Recording) EstimateLogGBPerDay(freqHz float64) float64 {
+	m := r.BitsPerProcPerKinst()                               // total bits per total kilo-instruction
+	totalInstsPerDay := freqHz * 86400 * float64(r.rec.NProcs) // IPC = 1
+	bits := m * totalInstsPerDay / 1000
+	return bits / 8 / 1e9
+}

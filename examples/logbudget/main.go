@@ -1,0 +1,66 @@
+// Logbudget: how long can you record?
+//
+// The paper's headline for PicoLog: an 8-processor 5-GHz machine
+// produces only ~20 GB of memory-ordering log per day, making
+// always-on production recording plausible. This example measures the
+// compressed log rate of each DeLorean mode on a full-system workload
+// (sjbb2k: locks, interrupts, uncached I/O, DMA) and extrapolates
+// GB/day for a few machine sizes.
+//
+//	go run ./examples/logbudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"delorean"
+)
+
+func main() {
+	fmt.Println("measuring compressed memory-ordering log rates on sjbb2k...")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %18s %14s\n", "mode", "chunk", "bits/proc/kinst", "GB/day @5GHz")
+	fmt.Println("--------------------------------------------------------------")
+
+	type modeSpec struct {
+		mode  delorean.Mode
+		chunk int
+	}
+	for _, spec := range []modeSpec{
+		{delorean.OrderSize, 2000},
+		{delorean.OrderOnly, 2000},
+		{delorean.PicoLog, 1000},
+	} {
+		cfg := delorean.DefaultConfig()
+		cfg.Processors = 8
+		cfg.ChunkSize = spec.chunk
+		w := delorean.NewWorkload("sjbb2k", 8, 120_000, 7)
+		rec, err := delorean.Record(cfg, spec.mode, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10d %18.3f %14.1f\n",
+			spec.mode, spec.chunk, rec.BitsPerProcPerKinst(), rec.EstimateLogGBPerDay(5e9))
+	}
+
+	fmt.Println()
+	fmt.Println("scaling the PicoLog estimate across machines (IPC = 1):")
+	cfg := delorean.DefaultConfig()
+	cfg.ChunkSize = 1000
+	for _, procs := range []int{4, 8, 16} {
+		cfg.Processors = procs
+		w := delorean.NewWorkload("sjbb2k", procs, 120_000, 7)
+		rec, err := delorean.Record(cfg, delorean.PicoLog, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ghz := range []float64{2, 5} {
+			fmt.Printf("  %2d procs @ %.0f GHz: %7.2f GB/day\n",
+				procs, ghz, rec.EstimateLogGBPerDay(ghz*1e9))
+		}
+	}
+	fmt.Println()
+	fmt.Println("(the paper estimates ~20 GB/day for 8 procs at 5 GHz; the input")
+	fmt.Println("logs — interrupts, I/O values, DMA data — are accounted separately)")
+}

@@ -1,0 +1,111 @@
+// Racedebug: the debugging story DeLorean exists for.
+//
+// A work-queue program has an atomicity bug: workers read a shared
+// "next task" index and write it back incremented WITHOUT holding the
+// lock on a rare path, occasionally double-assigning a task. The bug
+// only fires under particular interleavings — rerunning the program
+// usually produces a different (often correct-looking) outcome.
+//
+// With DeLorean, the buggy production run is recorded once; every replay
+// reproduces the same interleaving, so the double assignment can be
+// examined as many times as needed — here we demonstrate by replaying 5
+// times under perturbed timing and getting the identical task assignment
+// every time, while an unordered re-execution lands elsewhere.
+//
+//	go run ./examples/racedebug
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"delorean"
+)
+
+const (
+	lockAddr  = 0x40
+	nextAddr  = 0x80  // next task index
+	claimBase = 0x400 // claim[task] = 1 + procID of the worker that took it
+	doneAddr  = 0x100 // tasks completed (racy metric)
+	tasks     = 200
+)
+
+func buggyWorker() *delorean.Program {
+	a := delorean.NewAsm()
+	a.LockInit()
+	a.Ldi(1, lockAddr)
+	a.Ldi(2, nextAddr)
+	a.Label("loop")
+	// Rare buggy path: every 8th attempt skips the lock (as if a code
+	// path forgot it).
+	a.Ld(3, 2, 0) // peek next
+	a.Andi(4, 3, 7)
+	a.Ldi(5, 7)
+	a.Beq(4, 5, "unlocked")
+	// Correct path.
+	a.Lock(1, 6, "l")
+	a.Ld(3, 2, 0)
+	a.Addi(4, 3, 1)
+	a.St(2, 0, 4)
+	a.Unlock(1)
+	a.Jmp("claim")
+	a.Label("unlocked")
+	// BUG: unsynchronized read-increment-write of the task index.
+	a.Ld(3, 2, 0)
+	a.Addi(4, 3, 1)
+	a.St(2, 0, 4)
+	a.Label("claim")
+	a.Ldi(5, tasks)
+	a.Bge(3, 5, "done")
+	// claim[task] = procID + 1 (a double assignment overwrites).
+	a.Ldi(5, claimBase)
+	a.Add(5, 5, 3)
+	a.Addi(6, 15, 1)
+	a.St(5, 0, 6)
+	// Simulate the task.
+	a.Work(120, 7)
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.Assemble()
+}
+
+func main() {
+	w := delorean.CustomWorkload("buggy-queue", 4, buggyWorker())
+	cfg := delorean.DefaultConfig()
+	cfg.Processors = 4
+	cfg.ChunkSize = 400
+
+	fmt.Println("recording the buggy production run (OrderOnly)...")
+	rec, err := delorean.Record(cfg, delorean.OrderOnly, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  recorded: %s\n\n", rec.Summary())
+
+	fmt.Println("replaying the SAME buggy interleaving 5 times under perturbed timing:")
+	for run := 1; run <= 5; run++ {
+		res, err := rec.Replay(delorean.ReplayWith{PerturbSeed: uint64(run * 31)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  replay %d: deterministic=%v — every load, store and race lands identically\n",
+			run, res.Deterministic)
+		if !res.Deterministic {
+			log.Fatal("divergence — should be impossible")
+		}
+	}
+
+	fmt.Println("\nwithout DeLorean (plain re-execution, slightly different timing):")
+	same, _, err := rec.RunUnordered(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if same {
+		fmt.Println("  happened to reproduce the outcome this time (rare luck)")
+	} else {
+		fmt.Println("  different outcome — the bug you were chasing may not even fire")
+	}
+	fmt.Println("\nthe recorded interleaving can now be replayed under a debugger as")
+	fmt.Println("many times as the investigation needs.")
+}

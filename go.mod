@@ -1,0 +1,3 @@
+module delorean
+
+go 1.22

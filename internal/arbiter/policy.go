@@ -1,0 +1,259 @@
+package arbiter
+
+import "fmt"
+
+// FreeOrder grants in arrival order: the commit interleaving is whatever
+// timing produces, and recording it is what the PI log is for.
+type FreeOrder struct{}
+
+// MayGrant always permits.
+func (FreeOrder) MayGrant(*Request, uint64) bool { return true }
+
+// Granted is a no-op.
+func (FreeOrder) Granted(*Request, uint64, uint64) {}
+
+// MarkDone is a no-op.
+func (FreeOrder) MarkDone(int) {}
+
+// Head reports no fixed order.
+func (FreeOrder) Head(uint64) (int, bool) { return -1, false }
+
+// RoundRobin is PicoLog's predefined commit order: a token circulates
+// through the processors; a processor's chunk commits only while it holds
+// the token (urgent requests — DMA, high-priority interrupt handlers —
+// bypass the token and consume a commit slot out of turn).
+//
+// It also gathers the token-passing statistics of the paper's Table 6.
+type RoundRobin struct {
+	n    int
+	cur  int
+	done []bool
+
+	// Token bookkeeping.
+	tokenArrive uint64   // when the token reached cur
+	lastArrive  []uint64 // previous token arrival per proc
+
+	// Table 6 accumulators.
+	ReadyOnArrival    uint64 // token arrivals finding a ready chunk
+	TokenArrivals     uint64
+	WaitTokenSum      uint64 // ready procs: chunk completion -> grant
+	WaitTokenCount    uint64
+	WaitCompleteSum   uint64 // unready procs: token arrival -> completion
+	WaitCompleteCount uint64
+	RoundtripSum      uint64
+	RoundtripCount    uint64
+}
+
+// NewRoundRobin builds the policy for n processors, token starting at 0.
+func NewRoundRobin(n int) *RoundRobin {
+	return NewRoundRobinAt(n, 0)
+}
+
+// NewRoundRobinAt builds the policy with the token starting at cur
+// (interval replay resumes the rotation where the checkpoint cut it).
+func NewRoundRobinAt(n, cur int) *RoundRobin {
+	if cur < 0 || cur >= n {
+		cur = 0
+	}
+	return &RoundRobin{n: n, cur: cur, done: make([]bool, n), lastArrive: make([]uint64, n)}
+}
+
+// MayGrant permits the token holder and urgent requests.
+func (rr *RoundRobin) MayGrant(r *Request, _ uint64) bool {
+	if r.Urgent || r.Proc >= rr.n { // DMA pseudo-processor
+		return true
+	}
+	return r.Proc == rr.cur
+}
+
+// Granted advances the token past the granting processor and records
+// token statistics. Urgent and DMA grants do not move the token.
+func (rr *RoundRobin) Granted(r *Request, now uint64, _ uint64) {
+	if r.Urgent || r.Proc >= rr.n || r.Proc != rr.cur {
+		return
+	}
+	// The proc held the token and committed now.
+	rr.TokenArrivals++
+	if r.Ready <= rr.tokenArrive {
+		rr.ReadyOnArrival++
+		rr.WaitTokenSum += now - r.Ready
+		rr.WaitTokenCount++
+	} else {
+		rr.WaitCompleteSum += r.Ready - rr.tokenArrive
+		rr.WaitCompleteCount++
+	}
+	rr.advance(now)
+}
+
+func (rr *RoundRobin) advance(now uint64) {
+	for i := 0; i < rr.n; i++ {
+		rr.cur = (rr.cur + 1) % rr.n
+		if !rr.done[rr.cur] {
+			break
+		}
+	}
+	if prev := rr.lastArrive[rr.cur]; prev != 0 {
+		rr.RoundtripSum += now - prev
+		rr.RoundtripCount++
+	}
+	rr.lastArrive[rr.cur] = now
+	rr.tokenArrive = now
+}
+
+// MarkDone removes a finished processor from the rotation.
+func (rr *RoundRobin) MarkDone(proc int) {
+	if proc >= 0 && proc < rr.n {
+		rr.done[proc] = true
+		if rr.cur == proc {
+			rr.advance(rr.tokenArrive)
+		}
+	}
+}
+
+// Head returns the token holder.
+func (rr *RoundRobin) Head(uint64) (int, bool) { return rr.cur, true }
+
+// AllDone reports whether every processor finished.
+func (rr *RoundRobin) AllDone() bool {
+	for _, d := range rr.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// TokenStats summarizes Table 6's token-passing columns.
+type TokenStats struct {
+	ProcReadyFrac   float64 // fraction of token acquisitions with a ready chunk
+	WaitTokenAvg    float64 // cycles, ready procs
+	WaitCompleteAvg float64
+	RoundtripAvg    float64
+}
+
+// Tokens returns the accumulated token statistics.
+func (rr *RoundRobin) Tokens() TokenStats {
+	var ts TokenStats
+	if rr.TokenArrivals > 0 {
+		ts.ProcReadyFrac = float64(rr.ReadyOnArrival) / float64(rr.TokenArrivals)
+	}
+	if rr.WaitTokenCount > 0 {
+		ts.WaitTokenAvg = float64(rr.WaitTokenSum) / float64(rr.WaitTokenCount)
+	}
+	if rr.WaitCompleteCount > 0 {
+		ts.WaitCompleteAvg = float64(rr.WaitCompleteSum) / float64(rr.WaitCompleteCount)
+	}
+	if rr.RoundtripCount > 0 {
+		ts.RoundtripAvg = float64(rr.RoundtripSum) / float64(rr.RoundtripCount)
+	}
+	return ts
+}
+
+// LogOrder replays a recorded PI sequence: only the processor at the head
+// of the log may commit, and each grant consumes one entry. Entry values
+// are processor IDs, with the DMA pseudo-ID (n) marking DMA commits.
+type LogOrder struct {
+	seq []int
+	idx int
+}
+
+// NewLogOrder builds the policy over the recorded processor-ID sequence.
+func NewLogOrder(seq []int) *LogOrder { return &LogOrder{seq: seq} }
+
+// MayGrant permits only the log head (split continuations bypass the
+// policy in the arbiter and never reach here).
+func (lo *LogOrder) MayGrant(r *Request, _ uint64) bool {
+	return lo.idx < len(lo.seq) && lo.seq[lo.idx] == r.Proc
+}
+
+// Granted consumes the head entry.
+func (lo *LogOrder) Granted(r *Request, _ uint64, _ uint64) {
+	if lo.idx < len(lo.seq) && lo.seq[lo.idx] == r.Proc {
+		lo.idx++
+	} else {
+		panic(fmt.Sprintf("arbiter: out-of-log grant to proc %d at index %d", r.Proc, lo.idx))
+	}
+}
+
+// MarkDone is a no-op: the log fully determines order.
+func (lo *LogOrder) MarkDone(int) {}
+
+// Head returns the current log head.
+func (lo *LogOrder) Head(uint64) (int, bool) {
+	if lo.idx >= len(lo.seq) {
+		return -1, false
+	}
+	return lo.seq[lo.idx], true
+}
+
+// Consumed reports how many entries have been replayed.
+func (lo *LogOrder) Consumed() int { return lo.idx }
+
+// SlotRef pins an out-of-turn commit (DMA or high-priority interrupt
+// handler) to a recorded commit slot in PicoLog replay.
+type SlotRef struct {
+	Slot uint64
+	Proc int // DMA pseudo-ID for DMA transfers
+}
+
+// RoundRobinReplay replays PicoLog: the same round-robin order as
+// recording, with recorded slots at which DMA and urgent commits must
+// interleave. While a slot action is pending at the current commit count,
+// ordinary grants are held so the slot is consumed by the right agent.
+type RoundRobinReplay struct {
+	RR    *RoundRobin
+	slots []SlotRef // sorted by Slot
+	sidx  int
+}
+
+// NewRoundRobinReplay builds the policy. slots must be sorted by Slot.
+func NewRoundRobinReplay(n int, slots []SlotRef) *RoundRobinReplay {
+	return NewRoundRobinReplayAt(n, 0, slots)
+}
+
+// NewRoundRobinReplayAt is NewRoundRobinReplay with the token starting
+// at cur (interval replay).
+func NewRoundRobinReplayAt(n, cur int, slots []SlotRef) *RoundRobinReplay {
+	return &RoundRobinReplay{RR: NewRoundRobinAt(n, cur), slots: slots}
+}
+
+// PendingSlot returns the slot action bound to commit count gc, if any.
+func (rp *RoundRobinReplay) PendingSlot(gc uint64) (SlotRef, bool) {
+	if rp.sidx < len(rp.slots) && rp.slots[rp.sidx].Slot == gc {
+		return rp.slots[rp.sidx], true
+	}
+	return SlotRef{}, false
+}
+
+// MayGrant holds ordinary commits while a slot action is due, and routes
+// urgent commits to their recorded slots.
+func (rp *RoundRobinReplay) MayGrant(r *Request, gc uint64) bool {
+	if slot, due := rp.PendingSlot(gc); due {
+		return (r.Urgent || r.Proc >= rp.RR.n) && r.Proc == slot.Proc
+	}
+	if r.Urgent || r.Proc >= rp.RR.n {
+		return false // its slot has not come up yet
+	}
+	return rp.RR.MayGrant(r, gc)
+}
+
+// Granted consumes the slot when an urgent/DMA commit lands, otherwise
+// advances the token.
+func (rp *RoundRobinReplay) Granted(r *Request, now uint64, gc uint64) {
+	if slot, due := rp.PendingSlot(gc); due && r.Proc == slot.Proc {
+		rp.sidx++
+		return
+	}
+	rp.RR.Granted(r, now, gc)
+}
+
+// MarkDone forwards to the round-robin rotation.
+func (rp *RoundRobinReplay) MarkDone(proc int) { rp.RR.MarkDone(proc) }
+
+// Head returns the token holder, or the slot-pinned agent if one is due.
+func (rp *RoundRobinReplay) Head(gc uint64) (int, bool) {
+	if slot, due := rp.PendingSlot(gc); due {
+		return slot.Proc, true
+	}
+	return rp.RR.Head(gc)
+}

@@ -1,0 +1,139 @@
+package arbiter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delorean/internal/rng"
+	"delorean/internal/signature"
+)
+
+// Property: under random request streams, the arbiter never exceeds its
+// concurrency bound, never grants the same request twice, grants
+// same-processor requests in submission order, and (for FreeOrder)
+// eventually grants everything.
+func TestQuickArbiterInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		nprocs := 2 + s.Intn(6)
+		maxConcur := 1 + s.Intn(4)
+		a := New(30, uint64(5+s.Intn(20)), maxConcur, FreeOrder{})
+
+		type reqInfo struct {
+			r       *Request
+			granted bool
+			order   int
+		}
+		var all []*reqInfo
+		now := uint64(0)
+		perProcSeq := make([]int, nprocs)
+		grantedPerProc := make([]int, nprocs)
+		grants := 0
+
+		for step := 0; step < 60; step++ {
+			now += uint64(1 + s.Intn(40))
+			if s.Bool(0.7) {
+				p := s.Intn(nprocs)
+				var sig signature.Sig
+				line := uint32(s.Intn(8) * 64)
+				sig.Insert(line)
+				ri := &reqInfo{
+					r: &Request{
+						Proc: p, Arrive: now, Ready: now,
+						RSig: &signature.Sig{}, WSig: &sig, WLines: []uint32{line},
+						Tag: len(all),
+					},
+					order: perProcSeq[p],
+				}
+				perProcSeq[p]++
+				all = append(all, ri)
+				a.Submit(now, ri.r)
+			}
+			for _, g := range a.TryGrant(now) {
+				idx := g.Tag.(int)
+				ri := all[idx]
+				if ri.granted {
+					return false // double grant
+				}
+				ri.granted = true
+				grants++
+				// Same-proc ordering: this must be the next ungranted
+				// order number for the processor.
+				if ri.order != grantedPerProc[g.Proc] {
+					return false
+				}
+				grantedPerProc[g.Proc]++
+				if a.InFlight() > maxConcur {
+					return false
+				}
+			}
+		}
+		// Drain: everything must eventually be granted.
+		for i := 0; i < 200 && a.Pending() > 0; i++ {
+			now += 50
+			for _, g := range a.TryGrant(now) {
+				idx := g.Tag.(int)
+				if all[idx].granted {
+					return false
+				}
+				all[idx].granted = true
+				grants++
+			}
+		}
+		if a.Pending() != 0 {
+			return false
+		}
+		return uint64(grants) == a.GlobalCommits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-robin grants rotate — between two grants to processor
+// p, every other live processor with a pending request is granted at
+// most once.
+func TestQuickRoundRobinFairness(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		nprocs := 2 + s.Intn(5)
+		rr := NewRoundRobin(nprocs)
+		a := New(30, 5, 4, rr)
+		now := uint64(0)
+		// Everyone always has a request pending.
+		pending := make([]int, nprocs)
+		submit := func(p int) {
+			var sig signature.Sig
+			line := uint32(1000 + p*64)
+			sig.Insert(line)
+			a.Submit(now, &Request{
+				Proc: p, Arrive: now, Ready: now,
+				RSig: &signature.Sig{}, WSig: &sig, WLines: []uint32{line},
+				Tag: p,
+			})
+			pending[p]++
+		}
+		for p := 0; p < nprocs; p++ {
+			submit(p)
+		}
+		var seq []int
+		for step := 0; step < 40; step++ {
+			now += 20
+			for _, g := range a.TryGrant(now) {
+				seq = append(seq, g.Proc)
+				pending[g.Proc]--
+				submit(g.Proc)
+			}
+		}
+		// The grant sequence must be a strict rotation 0,1,2,...,n-1,0,...
+		for i, p := range seq {
+			if p != i%nprocs {
+				return false
+			}
+		}
+		return len(seq) > nprocs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"testing"
+
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/sim"
+)
+
+func testConfig(n int) sim.Config {
+	c := sim.Default8()
+	c.NProcs = n
+	c.MaxInsts = 20_000_000
+	return c
+}
+
+// producerConsumer: proc 0 writes a sequence of flags; proc 1 spins on
+// each flag — a dense chain of RAW dependences.
+func producerConsumer(n int) []*isa.Program {
+	prod := isa.NewAsm()
+	prod.Ldi(1, 0x1000)
+	prod.Ldi(2, 0)
+	prod.Ldi(3, int64(n))
+	prod.Label("loop")
+	prod.Addi(2, 2, 1)
+	prod.St(1, 0, 2) // flag = i+1
+	prod.Addi(1, 1, isa.LineWords)
+	prod.Ldi(4, 0)
+	prod.Work(10, 9)
+	prod.Addi(4, 4, 1)
+	prod.Blt(2, 3, "loop")
+	prod.Halt()
+
+	cons := isa.NewAsm()
+	cons.Ldi(1, 0x1000)
+	cons.Ldi(2, 0)
+	cons.Ldi(3, int64(n))
+	cons.Label("outer")
+	cons.Label("spin")
+	cons.Ld(4, 1, 0)
+	cons.Beq(4, 5, "spin") // r5 = 0: wait for nonzero
+	cons.Addi(1, 1, isa.LineWords)
+	cons.Addi(2, 2, 1)
+	cons.Blt(2, 3, "outer")
+	cons.Halt()
+	return []*isa.Program{prod.Assemble(), cons.Assemble()}
+}
+
+// privateStreams: no sharing at all — the logs should be (nearly) empty.
+func privateStreams(nprocs, n int) []*isa.Program {
+	ps := make([]*isa.Program, nprocs)
+	for p := range ps {
+		a := isa.NewAsm()
+		a.Ldi(1, int64(0x100000+p*0x10000))
+		a.Ldi(2, 0)
+		a.Ldi(3, int64(n))
+		a.Label("loop")
+		a.St(1, 0, 2)
+		a.Ld(4, 1, 0)
+		a.Addi(1, 1, isa.LineWords)
+		a.Addi(2, 2, 1)
+		a.Blt(2, 3, "loop")
+		a.Halt()
+		ps[p] = a.Assemble()
+	}
+	return ps
+}
+
+func TestNoSharingNoLog(t *testing.T) {
+	cfg := testConfig(4)
+	fdr, rtr, strata := NewFDR(4), NewRTR(4), NewStrata(4, false)
+	st := Run(cfg, privateStreams(4, 500), mem.New(), nil, fdr, rtr, strata)
+	if !st.Converged {
+		t.Fatal("not converged")
+	}
+	if fdr.Entries() != 0 {
+		t.Errorf("FDR logged %d entries with no sharing", fdr.Entries())
+	}
+	if rtr.Entries() != 0 {
+		t.Errorf("RTR logged %d entries with no sharing", rtr.Entries())
+	}
+	if strata.Entries() != 0 {
+		t.Errorf("Strata logged %d strata with no sharing", strata.Entries())
+	}
+}
+
+func TestSharingProducesEntries(t *testing.T) {
+	cfg := testConfig(2)
+	fdr, rtr, strata := NewFDR(2), NewRTR(2), NewStrata(2, false)
+	st := Run(cfg, producerConsumer(100), mem.New(), nil, fdr, rtr, strata)
+	if !st.Converged {
+		t.Fatal("not converged")
+	}
+	if fdr.Entries() == 0 || rtr.Entries() == 0 || strata.Entries() == 0 {
+		t.Fatalf("entries: FDR=%d RTR=%d Strata=%d, want all > 0",
+			fdr.Entries(), rtr.Entries(), strata.Entries())
+	}
+	if fdr.RawBits() == 0 || rtr.RawBits() == 0 || strata.RawBits() == 0 {
+		t.Fatal("raw bits zero despite entries")
+	}
+}
+
+func TestTransitiveReductionReducesFDR(t *testing.T) {
+	// A dependence chain 0→1 repeated on the same line: after the first
+	// logged dependence, subsequent ones at lower source points are
+	// implied. Compare against a naive count of all cross-proc
+	// dependences by using a fresh FDR whose vc is reset between ops —
+	// here we simply sanity-check that entries << dependences.
+	cfg := testConfig(2)
+	fdr := NewFDR(2)
+	st := Run(cfg, producerConsumer(200), mem.New(), nil, fdr)
+	if !st.Converged {
+		t.Fatal("not converged")
+	}
+	// Each flag handoff is at least one dependence; spinning re-reads
+	// produce many more. TR should keep entries near the handoff count.
+	if fdr.Entries() > 3*200 {
+		t.Fatalf("FDR entries %d — transitive reduction ineffective", fdr.Entries())
+	}
+}
+
+func TestRTRSmallerThanFDR(t *testing.T) {
+	cfg := testConfig(2)
+	fdr, rtr := NewFDR(2), NewRTR(2)
+	st := Run(cfg, producerConsumer(300), mem.New(), nil, fdr, rtr)
+	if !st.Converged {
+		t.Fatal("not converged")
+	}
+	if rtr.RawBits() >= fdr.RawBits() {
+		t.Fatalf("RTR %d bits >= FDR %d bits (regulation should shrink the log)",
+			rtr.RawBits(), fdr.RawBits())
+	}
+}
+
+func TestStrataSkipWARSmaller(t *testing.T) {
+	// Heavy read-write sharing: skipping WAR strata must not enlarge the
+	// log.
+	progs := func() []*isa.Program {
+		ps := make([]*isa.Program, 4)
+		for p := range ps {
+			a := isa.NewAsm()
+			a.Ldi(1, 0x40)
+			a.Ldi(2, 0)
+			a.Ldi(3, 200)
+			a.Label("loop")
+			a.Ld(4, 1, 0)
+			a.Addi(4, 4, 1)
+			a.St(1, 0, 4)
+			a.Addi(2, 2, 1)
+			a.Blt(2, 3, "loop")
+			a.Halt()
+			ps[p] = a.Assemble()
+		}
+		return ps
+	}
+	cfg := testConfig(4)
+	all, noWar := NewStrata(4, false), NewStrata(4, true)
+	st := Run(cfg, progs(), mem.New(), nil, all, noWar)
+	if !st.Converged {
+		t.Fatal("not converged")
+	}
+	if noWar.RawBits() > all.RawBits() {
+		t.Fatalf("noWAR %d bits > full %d bits", noWar.RawBits(), all.RawBits())
+	}
+}
+
+func TestCompressionNeverLosesToNineEighths(t *testing.T) {
+	cfg := testConfig(2)
+	fdr := NewFDR(2)
+	Run(cfg, producerConsumer(150), mem.New(), nil, fdr)
+	if fdr.CompressedBits() > fdr.RawBits()*9/8+64 {
+		t.Fatalf("compressed %d vs raw %d", fdr.CompressedBits(), fdr.RawBits())
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewFDR(2).Name() != "FDR" || NewRTR(2).Name() != "RTR" {
+		t.Fatal("names wrong")
+	}
+	if NewStrata(2, false).Name() != "Strata" || NewStrata(2, true).Name() != "Strata(noWAR)" {
+		t.Fatal("strata names wrong")
+	}
+}
+
+func TestBitsPerProcPerKinst(t *testing.T) {
+	if got := BitsPerProcPerKinst(8000, 4, 1_000_000); got != 8.0 {
+		t.Fatalf("got %g, want 8", got)
+	}
+	if got := BitsPerProcPerKinst(100, 4, 0); got != 0 {
+		t.Fatalf("zero insts: %g", got)
+	}
+}
+
+func TestSameProcDependencesNotLogged(t *testing.T) {
+	// Single processor re-reading and re-writing its own line: no
+	// cross-processor dependences exist.
+	cfg := testConfig(1)
+	fdr, strata := NewFDR(1), NewStrata(1, false)
+	Run(cfg, privateStreams(1, 300), mem.New(), nil, fdr, strata)
+	if fdr.Entries() != 0 || strata.Entries() != 0 {
+		t.Fatalf("self dependences logged: FDR=%d Strata=%d", fdr.Entries(), strata.Entries())
+	}
+}

@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"delorean/internal/bitio"
+	"delorean/internal/lz77"
+	"delorean/internal/sim"
+)
+
+// Strata implements Narayanasamy et al.'s stratum-based recorder. Rather
+// than logging individual dependences, the log is a sequence of strata:
+// each stratum is a vector with, per processor, the number of memory
+// operations issued since the previous stratum. A stratum is logged right
+// before the second access of an inter-processor dependence whose first
+// access lies in the current stratum region.
+//
+// SkipWAR reproduces the paper's option of not logging strata for
+// write-after-read dependences (smaller log, slower replay: WARs must be
+// uncovered by re-execution).
+type Strata struct {
+	nprocs  int
+	SkipWAR bool
+
+	lines   *lineTable
+	memOps  []uint64 // current per-proc memop counts
+	lastCut []uint64 // counts at the previous stratum
+	stratum uint32   // current stratum index + 1
+
+	entries int
+	w       bitio.Writer
+}
+
+// NewStrata builds a recorder for nprocs processors.
+func NewStrata(nprocs int, skipWAR bool) *Strata {
+	return &Strata{
+		nprocs:  nprocs,
+		SkipWAR: skipWAR,
+		lines:   newLineTable(nprocs),
+		memOps:  make([]uint64, nprocs),
+		lastCut: make([]uint64, nprocs),
+		stratum: 1,
+	}
+}
+
+// Name implements Recorder.
+func (s *Strata) Name() string {
+	if s.SkipWAR {
+		return "Strata(noWAR)"
+	}
+	return "Strata"
+}
+
+// cut logs a stratum: the per-processor operation counts since the last
+// stratum, each uvarint-encoded.
+func (s *Strata) cut() {
+	s.entries++
+	for p := 0; p < s.nprocs; p++ {
+		s.w.WriteUvarint(s.memOps[p] - s.lastCut[p])
+		s.lastCut[p] = s.memOps[p]
+	}
+	s.stratum++
+}
+
+// OnAccess implements sim.Observer.
+func (s *Strata) OnAccess(e sim.AccessEvent) {
+	ls := s.lines.get(e.Line)
+
+	// Does this access complete a dependence whose source is in the
+	// current stratum?
+	needCut := false
+	if e.Read {
+		if ls.writerProc >= 0 && int(ls.writerProc) != e.Proc && ls.writerStrat == s.stratum {
+			needCut = true
+		}
+	}
+	if e.Write {
+		if ls.writerProc >= 0 && int(ls.writerProc) != e.Proc && ls.writerStrat == s.stratum {
+			needCut = true
+		}
+		if !s.SkipWAR {
+			for q := 0; q < s.nprocs; q++ {
+				if q != e.Proc && ls.readerStrat[q] == s.stratum {
+					needCut = true
+					break
+				}
+			}
+		}
+	}
+	if needCut {
+		s.cut()
+	}
+
+	// Count the access and record its stratum.
+	s.memOps[e.Proc]++
+	if e.Write {
+		ls.writerProc = int32(e.Proc)
+		ls.writerStrat = s.stratum
+		for q := range ls.readerStrat {
+			ls.readerStrat[q] = 0
+		}
+	}
+	if e.Read {
+		ls.readerStrat[e.Proc] = s.stratum
+	}
+}
+
+// Entries implements Recorder (strata logged).
+func (s *Strata) Entries() int { return s.entries }
+
+// RawBits implements Recorder.
+func (s *Strata) RawBits() int { return s.w.Len() }
+
+// CompressedBits implements Recorder.
+func (s *Strata) CompressedBits() int { return lz77.CompressedBits(s.w.Bytes()) }
+
+var _ Recorder = (*Strata)(nil)

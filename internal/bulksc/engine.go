@@ -1,0 +1,1076 @@
+package bulksc
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+
+	"delorean/internal/arbiter"
+	"delorean/internal/chunk"
+	"delorean/internal/device"
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/rng"
+	"delorean/internal/signature"
+	"delorean/internal/sim"
+)
+
+// Engine is the chunked multiprocessor. Configure the fields, then call
+// Run once.
+type Engine struct {
+	Cfg   sim.Config
+	Progs []*isa.Program
+	Mem   *mem.Memory
+	Devs  *device.Devices
+	Obs   Observer
+	// Policy orders commits; nil defaults to FreeOrder (plain BulkSC /
+	// Order&Size / OrderOnly recording).
+	Policy arbiter.Policy
+	// Replay, when non-nil, switches the engine to replay: inputs come
+	// from the logs instead of the device models.
+	Replay ReplaySource
+	// Perturb injects replay timing noise (nil: none).
+	Perturb *Perturb
+	// ExactConflicts uses exact line sets instead of signatures for
+	// squash decisions (the ablation oracle).
+	ExactConflicts bool
+	// PicoLog enables predefined-order semantics: collision backoff is
+	// unnecessary (and disabled) and high-priority interrupt handler
+	// chunks commit out of turn at recorded slots.
+	PicoLog bool
+	// RandomTrunc models non-deterministic chunking for the Order&Size
+	// mode (paper §5: 25% of chunks artificially truncated to a uniform
+	// size in [1, max]). Only effective in record mode.
+	RandomTrunc *RandomTrunc
+	// CheckpointEvery, when > 0, captures a Checkpoint every that many
+	// global commits and hands it to OnCheckpoint — the paper's periodic
+	// system checkpoints that bound how far back a replay must start.
+	CheckpointEvery uint64
+	OnCheckpoint    func(Checkpoint)
+	// Resume starts the engine from a checkpoint instead of the
+	// programs' entry points (interval replay).
+	Resume *Resume
+
+	arb    *arbiter.Arbiter
+	ms     *sim.MemSys
+	cores  []*core
+	events eventHeap
+	stats  Stats
+	prng   *rng.Source
+	trng   *rng.Source
+	now    uint64 // current global event time (monotone)
+
+	doneCores      int
+	lastCkptAt     uint64
+	tokenTrack     int  // PicoLog: token holder after the APPLIED commits
+	dmaQueuedIdx   int  // record mode: next device DMA to schedule
+	replayDMAOpen  bool // replay: a DMA request is queued at the arbiter
+	lastCommitTime uint64
+	totalExec      uint64
+}
+
+type tentIntr struct {
+	seq      uint64
+	typ      int64
+	data     int64
+	urgent   bool
+	savedIrq int // record mode: device-queue index to rewind to on cancel
+}
+
+type blockReason uint8
+
+const (
+	notBlocked blockReason = iota
+	waitSlot               // both simultaneous chunks uncommitted
+	waitIO                 // uncached access waiting for prior commits
+	waitOverflow
+)
+
+type core struct {
+	proc int
+	prog *isa.Program
+	ts   isa.ThreadState
+	tm   *sim.CoreTiming
+
+	chunks []*chunk.Chunk // uncommitted, oldest first; cur is last when running
+	cur    *chunk.Chunk
+
+	nextSeq    uint64
+	epoch      uint64
+	blocked    blockReason
+	blockStart uint64
+
+	pendingIO   *isa.Inst
+	splitRemain int
+	splitSeq    uint64
+	splitBudget chunk.TruncReason
+
+	irqIdx   int
+	ioCount  int // uncached loads performed (checkpoint offsets)
+	haltDone bool
+
+	// tent holds tentative interrupt deliveries: an interrupt is
+	// delivered speculatively at a chunk boundary and becomes
+	// architectural only when that chunk commits. A squash rolling back
+	// past the delivery point cancels it (and, in record mode, returns
+	// the interrupt to the device queue for redelivery). Logging and
+	// observer notification happen at finalization, so recording and
+	// replay emit exactly the surviving deliveries.
+	tent []tentIntr
+
+	lastReqArrive uint64 // commit requests leave the core in chunk order
+
+	useful     uint64
+	wasted     uint64
+	memOps     uint64
+	chunksDone uint64
+	squashes   uint64
+	slotStall  uint64
+}
+
+// Event kinds, in same-time priority order.
+const (
+	evDMA uint8 = iota
+	evSubmit
+	evArb
+	evCore
+)
+
+type event struct {
+	time  uint64
+	kind  uint8
+	id    int
+	epoch uint64
+	req   *arbiter.Request
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	if h[i].id != h[j].id {
+		return h[i].id < h[j].id
+	}
+	return h[i].epoch < h[j].epoch
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	v := old[n]
+	*h = old[:n]
+	return v
+}
+
+func (e *Engine) push(ev event) { heap.Push(&e.events, ev) }
+
+// Run executes the machine to completion and returns statistics.
+func (e *Engine) Run() Stats {
+	if len(e.Progs) != e.Cfg.NProcs {
+		panic(fmt.Sprintf("bulksc: %d programs for %d processors", len(e.Progs), e.Cfg.NProcs))
+	}
+	if e.Devs == nil {
+		e.Devs = device.New(0)
+	}
+	if e.Obs == nil {
+		e.Obs = NopObserver{}
+	}
+	if e.Policy == nil {
+		e.Policy = arbiter.FreeOrder{}
+	}
+	if e.Perturb != nil {
+		e.prng = rng.New(e.Perturb.Seed)
+	}
+	if e.RandomTrunc != nil {
+		e.trng = rng.New(e.RandomTrunc.Seed)
+	}
+	e.arb = arbiter.New(e.Cfg.ArbLat, e.Cfg.CommitDur, e.Cfg.MaxConcurCommits, e.Policy)
+	e.arb.Exact = e.ExactConflicts
+	e.ms = sim.NewMemSys(&e.Cfg)
+	e.stats.TruncBy = make(map[chunk.TruncReason]uint64)
+
+	if e.Resume != nil {
+		e.arb.StartCommits(e.Resume.BaseCommits)
+	}
+	for p := 0; p < e.Cfg.NProcs; p++ {
+		co := &core{proc: p, prog: e.Progs[p], tm: sim.NewCoreTiming(&e.Cfg)}
+		co.ts.Reg[15] = int64(p)
+		co.ts.Reg[14] = int64(e.Cfg.NProcs)
+		if e.Resume != nil {
+			pc := e.Resume.Procs[p]
+			co.ts = pc.State
+			co.nextSeq = pc.NextSeq
+			co.ioCount = pc.IOConsumed
+			if pi := pc.PendingIntr; pi != nil {
+				co.tent = append(co.tent, tentIntr{seq: pi.Seq, typ: pi.Type, data: pi.Data, urgent: pi.Urgent})
+			}
+			if pc.Done {
+				co.ts.Halted = true
+				co.haltDone = true
+				e.Policy.MarkDone(p)
+				e.doneCores++
+			}
+		}
+		e.cores = append(e.cores, co)
+		if !co.haltDone {
+			e.push(event{time: 0, kind: evCore, id: p})
+		}
+	}
+	if e.Replay == nil {
+		for i, tr := range e.Devs.DMA {
+			e.push(event{time: tr.Time, kind: evDMA, id: i})
+		}
+	}
+
+	budget := e.Cfg.MaxInsts
+	if budget == 0 {
+		budget = 100_000_000
+	}
+
+	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && e.totalExec < budget {
+		ev := heap.Pop(&e.events).(event)
+		if ev.time < e.now {
+			panic("bulksc: event time regressed")
+		}
+		e.now = ev.time
+		switch ev.kind {
+		case evDMA:
+			e.recordDMAArrival(ev.id)
+		case evSubmit:
+			// The chunk may have been squashed between completion and
+			// this request's arrival at the arbiter; drop stale requests.
+			if c, isChunk := ev.req.Tag.(*chunk.Chunk); isChunk && !e.chunkAlive(c) {
+				continue
+			}
+			e.arb.Submit(e.now, ev.req)
+			e.drainArbiter()
+		case evArb:
+			e.drainArbiter()
+		case evCore:
+			co := e.cores[ev.id]
+			if ev.epoch != co.epoch || co.blocked != notBlocked || co.haltDone {
+				continue
+			}
+			e.stepCore(co)
+		}
+	}
+
+	e.finishStats(budget)
+	return e.stats
+}
+
+func (e *Engine) finishStats(budget uint64) {
+	s := &e.stats
+	s.Converged = e.doneCores == e.Cfg.NProcs
+	s.Cycles = e.lastCommitTime
+	for _, co := range e.cores {
+		if co.tm.Clock > s.Cycles {
+			s.Cycles = co.tm.Clock
+		}
+		s.Insts += co.useful
+		s.WastedInsts += co.wasted
+		s.MemOps += co.memOps
+		s.Chunks += co.chunksDone
+		s.Squashes += co.squashes
+		s.StallCycles += co.tm.StallCycles
+		s.SlotStallCycles += co.slotStall
+		s.PerProc = append(s.PerProc, ProcStats{
+			Cycles:          co.tm.Clock,
+			Insts:           co.useful,
+			WastedInsts:     co.wasted,
+			Chunks:          co.chunksDone,
+			Squashes:        co.squashes,
+			SlotStallCycles: co.slotStall,
+		})
+	}
+	// Interconnect traffic proxy: line transfers for every off-core
+	// access, plus signature+grant exchange per commit, plus squash
+	// control and refetch traffic.
+	lineMsgs := e.ms.L2Hits + e.ms.MemAccesses + e.ms.C2CTransfers + e.ms.Upgrades
+	s.TrafficBytes += lineMsgs * (isa.LineBytes + 8)
+	s.TrafficBytes += s.Chunks * (signature.Bits/8 + 16)
+	s.TrafficBytes += s.Squashes * 64
+	_ = budget
+}
+
+// ---- core stepping ----
+
+func (e *Engine) reschedule(co *core) {
+	if co.blocked != notBlocked || co.haltDone {
+		return
+	}
+	e.push(event{time: co.tm.Clock, kind: evCore, id: co.proc, epoch: co.epoch})
+}
+
+func (e *Engine) block(co *core, why blockReason) {
+	co.blocked = why
+	co.blockStart = co.tm.Clock
+	co.epoch++
+}
+
+func (e *Engine) unblock(co *core) {
+	if co.blocked == notBlocked {
+		return
+	}
+	was := co.blocked
+	co.blocked = notBlocked
+	co.tm.AdvanceTo(e.now)
+	if was == waitSlot && co.tm.Clock > co.blockStart {
+		co.slotStall += co.tm.Clock - co.blockStart
+	}
+	co.epoch++
+	e.reschedule(co)
+}
+
+func (e *Engine) stepCore(co *core) {
+	// Record mode: high-priority interrupts squash the running chunk to
+	// start their handler promptly (paper §4.2.1).
+	if e.Replay == nil && !co.ts.InIntr && co.prog.IntrVec >= 0 &&
+		co.cur != nil && co.cur.Insts > 0 && !co.cur.Checkpoint.InIntr {
+		// The checkpoint guard matters: if the running chunk started
+		// inside an earlier handler, squashing it restores InIntr and the
+		// new interrupt still cannot deliver — squashing would repeat
+		// forever. Wait for the natural chunk boundary instead.
+		if iv, ok := e.peekIRQ(co); ok && iv.HighPriority && iv.Time <= co.tm.Clock {
+			e.squashSelfForInterrupt(co)
+			// Delivery happens when the next chunk starts below.
+		}
+	}
+
+	if co.cur == nil && !e.startChunk(co) {
+		return
+	}
+	c := co.cur
+	limit := c.Target - c.Insts
+	if limit <= 0 {
+		e.completeChunk(co, c.BudgetReason)
+		e.reschedule(co)
+		return
+	}
+
+	n, pend := isa.RunToMemOpTimed(&co.ts, co.prog, limit, co.tm.RegReady())
+	co.tm.ChargeALU(n)
+	c.Insts += n
+	e.totalExec += uint64(n)
+
+	if pend == nil {
+		if c.Insts >= c.Target {
+			e.completeChunk(co, c.BudgetReason)
+		}
+		e.reschedule(co)
+		return
+	}
+
+	switch pend.Op {
+	case isa.HALT:
+		// HALT occupies an instruction slot in its chunk so that no
+		// committed chunk is ever empty (empty chunks would desynchronize
+		// replay's size-driven chunking from the PI log).
+		co.ts.Halted = true
+		co.tm.Seq++
+		c.Insts++
+		e.totalExec++
+		e.completeChunk(co, chunk.Halt)
+
+	case isa.FENCE:
+		// Chunk atomicity subsumes fences: a no-op (the performance win
+		// the paper's RC-comparison rests on).
+		co.ts.PC++
+		co.tm.Seq++
+		c.Insts++
+		e.totalExec++
+		if c.Insts >= c.Target {
+			e.completeChunk(co, c.BudgetReason)
+		}
+
+	case isa.IORD, isa.IOWR:
+		// Uncached access: truncate deterministically; the access runs
+		// after every prior chunk commits (paper §4.2.2). An I/O op at
+		// the very start of a chunk abandons the empty chunk rather than
+		// committing a 0-size one (both runs do this identically).
+		if c.Insts == 0 {
+			co.cur = nil
+			co.chunks = co.chunks[:len(co.chunks)-1]
+			co.nextSeqRollback(c)
+		} else {
+			e.completeChunk(co, chunk.Uncached)
+		}
+		co.pendingIO = pend
+
+	case isa.LD:
+		e.chunkLoad(co, pend)
+		if c.Insts >= c.Target {
+			e.completeChunk(co, c.BudgetReason)
+		}
+
+	case isa.ST, isa.SWAP, isa.FADD, isa.CAS:
+		if e.chunkStore(co, pend) && c.Insts >= c.Target {
+			e.completeChunk(co, c.BudgetReason)
+		}
+	default:
+		panic(fmt.Sprintf("bulksc: unexpected pending op %v", pend.Op))
+	}
+	e.reschedule(co)
+}
+
+// lookupBuffers searches the processor's uncommitted chunks, newest
+// first, for a buffered value.
+func (co *core) lookupBuffers(addr uint32) (uint64, bool) {
+	for i := len(co.chunks) - 1; i >= 0; i-- {
+		if v, ok := co.chunks[i].Load(addr); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (e *Engine) flipLat(lat uint64) uint64 {
+	if e.Perturb == nil || e.Perturb.FlipProb == 0 || !e.prng.Bool(e.Perturb.FlipProb) {
+		return lat
+	}
+	if lat == e.Cfg.L1Lat {
+		return e.Cfg.MemLat
+	}
+	return e.Cfg.L1Lat
+}
+
+func (e *Engine) chunkLoad(co *core, in *isa.Inst) {
+	co.tm.WaitReg(in.Rs)
+	addr := in.MemAddr(&co.ts)
+	line := isa.LineOf(addr)
+	val, fromBuf := co.lookupBuffers(addr)
+	var lat uint64
+	if fromBuf {
+		lat = e.Cfg.L1Lat // store-buffer forwarding
+	} else {
+		val = e.Mem.Load(addr)
+		lat = e.flipLat(e.ms.Load(co.proc, line))
+	}
+	co.cur.NoteRead(line)
+	co.tm.LoadOp(lat, lat == e.Cfg.L1Lat, false, in.Rd)
+	in.Complete(&co.ts, val)
+	co.cur.Insts++
+	co.memOps++
+	e.totalExec++
+}
+
+// chunkStore executes a store-class instruction into the chunk's write
+// buffer. It returns false if the chunk was truncated by attempted cache
+// overflow before the store executed (the store then lands in the next
+// chunk).
+func (e *Engine) chunkStore(co *core, in *isa.Inst) bool {
+	co.tm.WaitReg(in.Rs)
+	co.tm.WaitReg(in.Rt)
+	addr := in.MemAddr(&co.ts)
+	line := isa.LineOf(addr)
+	c := co.cur
+
+	if !c.WroteLine(line) {
+		l1 := e.ms.L1(co.proc)
+		set := l1.SetOf(line)
+		if co.specLinesInSet(set, l1) >= l1.Ways() {
+			if c.Insts == 0 {
+				// The set is saturated by older uncommitted chunks; wait
+				// for a commit to free it. (Truncating an empty chunk
+				// cannot help.)
+				if len(co.chunks) <= 1 {
+					panic("bulksc: single chunk overflows an L1 set beyond associativity")
+				}
+				co.cur = nil
+				co.chunks = co.chunks[:len(co.chunks)-1]
+				co.nextSeqRollback(c)
+				e.block(co, waitOverflow)
+				return false
+			}
+			// Attempted overflow: truncate the chunk before this store.
+			e.truncateForOverflow(co)
+			return false
+		}
+	}
+
+	// Read-modify-writes also read.
+	var old uint64
+	isRMW := in.Op.IsAtomic()
+	if v, ok := co.lookupBuffers(addr); ok {
+		old = v
+	} else {
+		old = e.Mem.Load(addr)
+	}
+	if isRMW {
+		c.NoteRead(line)
+	}
+	c.Write(addr, in.NewValue(&co.ts, old))
+
+	lat := e.flipLat(e.ms.SpecStore(co.proc, line))
+	if isRMW {
+		co.tm.LoadOp(lat, lat == e.Cfg.L1Lat, false, in.Rd)
+	} else {
+		co.tm.StoreRC(lat, lat == e.Cfg.L1Lat)
+	}
+	in.Complete(&co.ts, old)
+	c.Insts++
+	co.memOps++
+	e.totalExec++
+	return true
+}
+
+// specLinesInSet counts speculative lines in an L1 set across the
+// processor's uncommitted chunks.
+func (co *core) specLinesInSet(set int, l1 interface{ SetOf(uint32) int }) int {
+	n := 0
+	for _, c := range co.chunks {
+		for _, l := range c.WLines() {
+			if l1.SetOf(l) == set {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// nextSeqRollback undoes the sequence-number allocation of a chunk that
+// was abandoned before executing anything.
+func (co *core) nextSeqRollback(c *chunk.Chunk) {
+	if !c.SplitPiece && c.SeqID == co.nextSeq-1 {
+		co.nextSeq--
+	} else if c.SplitPiece {
+		co.splitRemain = c.Target
+	}
+}
+
+func (e *Engine) truncateForOverflow(co *core) {
+	c := co.cur
+	if e.Replay != nil {
+		// Unexpected overflow during replay: the chunk commits as two
+		// pieces sharing one log slot (paper §4.2.3).
+		if _, expected := e.Replay.Truncation(co.proc, c.SeqID); !expected || c.SplitPiece || c.Insts < c.Target {
+			co.splitRemain = c.Target - c.Insts
+			co.splitSeq = c.SeqID
+			co.splitBudget = c.BudgetReason
+		}
+	}
+	e.completeChunk(co, chunk.Overflow)
+}
+
+// completeChunk finishes the running chunk and submits its commit
+// request.
+func (e *Engine) completeChunk(co *core, reason chunk.TruncReason) {
+	c := co.cur
+	c.Completed = true
+	c.Reason = reason
+	co.cur = nil
+
+	ready := co.tm.CompletionHorizon()
+	arrive := ready + e.Cfg.ArbLat
+	if e.Perturb != nil && e.Perturb.StallProb > 0 && e.prng.Bool(e.Perturb.StallProb) {
+		arrive += e.Perturb.StallMin + uint64(e.prng.Intn(int(e.Perturb.StallMax-e.Perturb.StallMin+1)))
+	}
+	// A processor sends its commit requests in chunk order: a younger
+	// cache-hot chunk must not reach the arbiter before an older chunk
+	// still waiting on a long-latency miss.
+	if arrive <= co.lastReqArrive {
+		arrive = co.lastReqArrive + 1
+	}
+	co.lastReqArrive = arrive
+	req := &arbiter.Request{
+		Proc:   co.proc,
+		Arrive: arrive,
+		Ready:  ready,
+		RSig:   &c.RSig,
+		WSig:   &c.WSig,
+		WLines: c.WLines(),
+		Urgent: c.Urgent && e.PicoLog,
+		Split:  c.SplitPiece,
+		Tag:    c,
+	}
+	e.push(event{time: arrive, kind: evSubmit, id: co.proc, req: req})
+}
+
+// ---- chunk lifecycle ----
+
+// peekIRQ returns the next undelivered interrupt for the core in record
+// mode.
+func (e *Engine) peekIRQ(co *core) (device.Interrupt, bool) {
+	ivs := e.Devs.Interrupts
+	for co.irqIdx < len(ivs) && ivs[co.irqIdx].Proc != co.proc {
+		co.irqIdx++
+	}
+	if co.irqIdx < len(ivs) {
+		return ivs[co.irqIdx], true
+	}
+	return device.Interrupt{}, false
+}
+
+func (e *Engine) squashSelfForInterrupt(co *core) {
+	c := co.cur
+	co.wasted += uint64(c.Insts)
+	co.squashes++
+	e.stats.Squashes++
+	e.Obs.OnSquash(co.proc, c.SeqID, c.Insts, co.proc)
+	co.chunks = co.chunks[:len(co.chunks)-1]
+	co.cur = nil
+	co.ts = c.Checkpoint
+	co.tm.Reset()
+	co.tm.Clock += e.Cfg.SquashPenalty
+	co.nextSeqRollback(c)
+	co.epoch++
+}
+
+// startChunk prepares the next chunk (running pending I/O and delivering
+// interrupts at the boundary first). It returns false if the core
+// blocked or has nothing left to do.
+func (e *Engine) startChunk(co *core) bool {
+	if co.ts.Halted {
+		return false // awaiting final commits
+	}
+	if co.pendingIO != nil {
+		if len(co.chunks) > 0 {
+			e.block(co, waitIO)
+			return false
+		}
+		e.execIO(co)
+	}
+	if len(co.chunks) >= e.Cfg.SimulChunks {
+		e.block(co, waitSlot)
+		return false
+	}
+
+	var nc *chunk.Chunk
+	if co.splitRemain > 0 {
+		nc = chunk.New(co.proc, co.splitSeq, co.ts, co.splitRemain)
+		nc.SplitPiece = true
+		nc.BudgetReason = co.splitBudget
+		nc.IOAtStart = co.ioCount
+		co.splitRemain = 0
+	} else {
+		// Interrupt delivery happens at the chunk boundary, before the
+		// checkpoint, so the handler chunk's checkpoint is inside the
+		// handler.
+		e.maybeDeliverInterrupt(co)
+		seq := co.nextSeq
+		co.nextSeq++
+		target := e.Cfg.ChunkSize
+		budget := chunk.SizeLimit
+		if e.Replay != nil {
+			if sz, ok := e.Replay.Truncation(co.proc, seq); ok {
+				target = sz
+				budget = chunk.CSReplay
+			}
+		} else if e.trng != nil && e.trng.Bool(e.RandomTrunc.Prob) {
+			target = 1 + e.trng.Intn(e.Cfg.ChunkSize)
+		}
+		nc = chunk.New(co.proc, seq, co.ts, target)
+		nc.BudgetReason = budget
+		nc.IOAtStart = co.ioCount
+		nc.Urgent = co.ts.InIntr && co.ts.IntrUrgent
+	}
+	co.chunks = append(co.chunks, nc)
+	co.cur = nc
+	return true
+}
+
+func (e *Engine) maybeDeliverInterrupt(co *core) {
+	if co.ts.InIntr || co.prog.IntrVec < 0 {
+		return
+	}
+	// A chunk whose first instruction is an uncached I/O access is
+	// abandoned (empty) and re-created with the same sequence number
+	// after the I/O executes. Interrupt delivery must happen at the
+	// surviving creation — the same point in recording and replay — so
+	// skip it here; the condition is deterministic in both runs.
+	if pc := co.ts.PC; pc >= 0 && pc < len(co.prog.Insts) && co.prog.Insts[pc].Op.IsUncached() {
+		return
+	}
+	if e.Replay != nil {
+		if typ, data, urgent, ok := e.Replay.InterruptAt(co.proc, co.nextSeq); ok {
+			co.ts.EnterInterrupt(co.prog.IntrVec, typ, data, urgent)
+			co.tent = append(co.tent, tentIntr{seq: co.nextSeq, typ: typ, data: data, urgent: urgent})
+		}
+		return
+	}
+	iv, ok := e.peekIRQ(co)
+	if !ok || iv.Time > co.tm.Clock {
+		return
+	}
+	saved := co.irqIdx
+	co.irqIdx++
+	co.ts.EnterInterrupt(co.prog.IntrVec, iv.Type, iv.Data, iv.HighPriority)
+	co.tent = append(co.tent, tentIntr{
+		seq: co.nextSeq, typ: iv.Type, data: iv.Data, urgent: iv.HighPriority, savedIrq: saved,
+	})
+}
+
+func (e *Engine) execIO(co *core) {
+	in := co.pendingIO
+	co.pendingIO = nil
+	co.tm.Drain()
+	var v uint64
+	if in.Op == isa.IORD {
+		if e.Replay != nil {
+			var ok bool
+			v, ok = e.Replay.NextIOValue(co.proc)
+			if !ok {
+				panic(fmt.Sprintf("bulksc: proc %d I/O log exhausted", co.proc))
+			}
+		} else {
+			v = e.Devs.ReadPort(in.Imm, co.tm.Clock)
+		}
+		e.Obs.OnIORead(co.proc, in.Imm, v)
+	} else if e.Replay == nil {
+		e.Devs.WritePort(in.Imm, uint64(co.ts.Reg[in.Rs]), co.tm.Clock)
+	}
+	co.tm.Clock += e.Cfg.IOLat
+	co.tm.Seq++
+	if in.Op == isa.IORD {
+		co.ioCount++
+	}
+	in.Complete(&co.ts, v)
+	co.useful++
+	e.totalExec++
+	e.stats.IOOps++
+}
+
+// ---- commits and squashes ----
+
+func (e *Engine) drainArbiter() {
+	for {
+		grants := e.arb.TryGrant(e.now)
+		for _, g := range grants {
+			e.applyCommit(g)
+		}
+		if len(grants) > 0 {
+			continue
+		}
+		if e.maybeReplayDMA() {
+			continue
+		}
+		break
+	}
+	if nxt, ok := e.arb.NextEventAfter(e.now); ok {
+		e.push(event{time: nxt, kind: evArb})
+	}
+}
+
+// dmaPayload tags DMA commit requests.
+type dmaPayload struct {
+	addr uint32
+	data []uint64
+}
+
+func (e *Engine) recordDMAArrival(i int) {
+	tr := e.Devs.DMA[i]
+	var w signature.Sig
+	var lines []uint32
+	last := uint32(0xffffffff)
+	for k := range tr.Data {
+		l := isa.LineOf(tr.Addr + uint32(k))
+		if l != last {
+			w.Insert(l)
+			lines = append(lines, l)
+			last = l
+		}
+	}
+	req := &arbiter.Request{
+		Proc:   DMAProc(e.Cfg.NProcs),
+		Arrive: e.now + e.Cfg.ArbLat,
+		Ready:  e.now,
+		WSig:   &w,
+		WLines: lines,
+		Urgent: true,
+		Tag:    dmaPayload{addr: tr.Addr, data: tr.Data},
+	}
+	e.push(event{time: req.Arrive, kind: evSubmit, id: DMAProc(e.Cfg.NProcs), req: req})
+}
+
+// maybeReplayDMA submits the next logged DMA transfer when the commit
+// order requires it next.
+func (e *Engine) maybeReplayDMA() bool {
+	if e.Replay == nil || e.replayDMAOpen {
+		return false
+	}
+	head, ok := e.Policy.Head(e.arb.GlobalCommits())
+	if !ok || head != DMAProc(e.Cfg.NProcs) {
+		return false
+	}
+	addr, data, ok := e.Replay.NextDMA()
+	if !ok {
+		panic("bulksc: replay requires a DMA commit but the DMA log is exhausted")
+	}
+	var w signature.Sig
+	var lines []uint32
+	last := uint32(0xffffffff)
+	for k := range data {
+		l := isa.LineOf(addr + uint32(k))
+		if l != last {
+			w.Insert(l)
+			lines = append(lines, l)
+			last = l
+		}
+	}
+	e.replayDMAOpen = true
+	e.arb.Submit(e.now, &arbiter.Request{
+		Proc:   DMAProc(e.Cfg.NProcs),
+		Arrive: e.now,
+		Ready:  e.now,
+		WSig:   &w,
+		WLines: lines,
+		Urgent: true,
+		Tag:    dmaPayload{addr: addr, data: data},
+	})
+	return true
+}
+
+func (e *Engine) applyCommit(g *arbiter.Request) {
+	e.lastCommitTime = e.now
+	if g.Proc == DMAProc(e.Cfg.NProcs) {
+		p := g.Tag.(dmaPayload)
+		for k, v := range p.data {
+			e.Mem.Store(p.addr+uint32(k), v)
+		}
+		for _, l := range g.WLines {
+			e.ms.DMAWrite(l)
+		}
+		e.stats.DMAs++
+		e.replayDMAOpen = false
+		e.Obs.OnDMACommit(g.Slot, p.addr, p.data)
+		e.squashConflicting(-1, g.WSig, g.WLines)
+		e.maybeCheckpoint(g.Slot + 1)
+		return
+	}
+
+	c := g.Tag.(*chunk.Chunk)
+	co := e.cores[c.Proc]
+	if len(co.chunks) == 0 || co.chunks[0] != c {
+		panic("bulksc: commit grant out of per-processor order")
+	}
+	co.chunks = co.chunks[1:]
+
+	h := fnv.New64a()
+	var buf [12]byte
+	c.Apply(func(a uint32, v uint64) {
+		e.Mem.Store(a, v)
+		buf[0] = byte(a)
+		buf[1] = byte(a >> 8)
+		buf[2] = byte(a >> 16)
+		buf[3] = byte(a >> 24)
+		for k := 0; k < 8; k++ {
+			buf[4+k] = byte(v >> (8 * k))
+		}
+		h.Write(buf[:])
+	})
+	for _, l := range c.WLines() {
+		e.ms.CommitLine(c.Proc, l)
+	}
+
+	co.useful += uint64(c.Insts)
+	if !g.Split {
+		co.chunksDone++
+	}
+	// The commit makes any interrupt delivered at this chunk's start
+	// architectural: finalize it (log + stats).
+	for len(co.tent) > 0 && co.tent[0].seq <= c.SeqID {
+		ti := co.tent[0]
+		co.tent = co.tent[1:]
+		e.stats.Interrupts++
+		e.Obs.OnInterrupt(co.proc, ti.seq, ti.typ, ti.data, ti.urgent)
+	}
+	e.stats.TruncBy[c.Reason]++
+	e.Obs.OnCommit(CommitEvent{
+		Proc:      c.Proc,
+		SeqID:     c.SeqID,
+		Size:      c.Insts,
+		Time:      e.now,
+		Slot:      g.Slot,
+		Reason:    c.Reason,
+		Urgent:    c.Urgent,
+		Split:     g.Split,
+		StoreHash: h.Sum64(),
+		RSig:      &c.RSig,
+		WSig:      &c.WSig,
+	})
+
+	e.squashConflicting(c.Proc, &c.WSig, c.WLines())
+
+	// Track the round-robin token across APPLIED commits (the arbiter's
+	// own policy state can run ahead within a grant batch).
+	if e.PicoLog && !g.Split && !c.Urgent {
+		e.advanceToken(c.Proc)
+	}
+	if co.ts.Halted && co.cur == nil && len(co.chunks) == 0 && co.pendingIO == nil {
+		co.haltDone = true
+		e.Policy.MarkDone(co.proc)
+		e.doneCores++
+		if e.PicoLog && e.tokenTrack == co.proc {
+			e.advanceToken(co.proc)
+		}
+		e.maybeCheckpoint(g.Slot + 1)
+		return
+	}
+	if co.blocked != notBlocked {
+		e.unblock(co)
+	}
+	e.maybeCheckpoint(g.Slot + 1)
+}
+
+// advanceToken moves the tracked token to the next live processor after
+// p.
+func (e *Engine) advanceToken(p int) {
+	n := e.Cfg.NProcs
+	for i := 0; i < n; i++ {
+		p = (p + 1) % n
+		if !e.cores[p].haltDone {
+			break
+		}
+	}
+	e.tokenTrack = p
+}
+
+// maybeCheckpoint captures a periodic checkpoint (record mode only)
+// after the commit occupying slot appliedSlots-1 has been applied.
+func (e *Engine) maybeCheckpoint(appliedSlots uint64) {
+	if e.CheckpointEvery == 0 || e.OnCheckpoint == nil || e.Replay != nil {
+		return
+	}
+	if appliedSlots > 0 && appliedSlots%e.CheckpointEvery == 0 && appliedSlots != e.lastCkptAt {
+		e.lastCkptAt = appliedSlots
+		e.OnCheckpoint(e.capture(appliedSlots))
+	}
+}
+
+// squashConflicting squashes, on every processor other than committer,
+// the oldest uncommitted chunk conflicting with the committed write set
+// and everything younger than it.
+func (e *Engine) squashConflicting(committer int, w *signature.Sig, wlines []uint32) {
+	for _, co := range e.cores {
+		if co.proc == committer {
+			continue
+		}
+		idx := -1
+		for i, d := range co.chunks {
+			if d.ConflictsWith(w, wlines, e.ExactConflicts) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		if !e.ExactConflicts && !co.chunks[idx].ConflictsWith(w, wlines, true) {
+			e.stats.SpuriousSquashes++
+		}
+		e.squashFrom(co, idx, committer)
+	}
+}
+
+func (e *Engine) squashFrom(co *core, idx int, committer int) {
+	dying := co.chunks[idx:]
+	victim := dying[0]
+	inDying := func(tag any) bool {
+		for _, d := range dying {
+			if tag == d {
+				return true
+			}
+		}
+		return false
+	}
+	e.arb.Withdraw(e.now, inDying)
+	for _, d := range dying {
+		co.wasted += uint64(d.Insts)
+		co.squashes++
+		e.stats.Squashes++
+		e.Obs.OnSquash(co.proc, d.SeqID, d.Insts, committer)
+	}
+	co.chunks = co.chunks[:idx]
+	co.cur = nil
+	co.pendingIO = nil // the I/O point rolls back with the checkpoint
+	co.splitRemain = 0
+	// Chunk sequence numbers roll back with the squash: the re-executed
+	// chunks must reuse the squashed ones' seqIDs, or every seqID-keyed
+	// log (CS, interrupt, size) desynchronizes from replay.
+	co.nextSeq = victim.SeqID + 1
+	// Cancel tentative interrupt deliveries the rollback wiped out. A
+	// delivery at the victim's own boundary survives — it is part of the
+	// victim's checkpoint and re-executes with it.
+	for i, ti := range co.tent {
+		if ti.seq > victim.SeqID {
+			if e.Replay == nil {
+				co.irqIdx = ti.savedIrq
+			}
+			co.tent = co.tent[:i]
+			break
+		}
+	}
+
+	// Restore and restart the oldest squashed logical chunk.
+	co.ts = victim.Checkpoint
+	co.tm.Reset()
+	co.tm.AdvanceTo(e.now)
+	co.tm.Clock += e.Cfg.SquashPenalty
+
+	target := victim.Target
+	budget := victim.BudgetReason
+	restarts := victim.Restarts + 1
+	if e.Replay == nil && !e.PicoLog && restarts >= e.Cfg.CollisionLimit && target > 32 {
+		// Repeated chunk collision: progressively reduce the chunk until
+		// it can commit (paper §4.2.3). The committed size is then
+		// non-deterministic and CS-logged.
+		target /= 2
+		budget = chunk.Collision
+	}
+	nc := chunk.New(co.proc, victim.SeqID, co.ts, target)
+	nc.Restarts = restarts
+	nc.Urgent = victim.Urgent
+	nc.SplitPiece = victim.SplitPiece
+	nc.BudgetReason = budget
+	nc.IOAtStart = victim.IOAtStart
+	co.chunks = append(co.chunks, nc)
+	co.cur = nc
+
+	co.blocked = notBlocked
+	co.epoch++
+	e.reschedule(co)
+}
+
+// chunkAlive reports whether c is still one of its processor's
+// uncommitted chunks (it may have been squashed and replaced).
+func (e *Engine) chunkAlive(c *chunk.Chunk) bool {
+	for _, d := range e.cores[c.Proc].chunks {
+		if d == c {
+			return true
+		}
+	}
+	return false
+}
+
+// DebugState renders the engine's per-core state — a diagnostic for
+// replay-divergence investigations (which core is blocked on what, how
+// far each chunk sequence has progressed).
+func (e *Engine) DebugState() string {
+	s := fmt.Sprintf("t=%d commits=%d pending=%d inflight=%d exec=%d\n",
+		e.now, e.arb.GlobalCommits(), e.arb.Pending(), e.arb.InFlight(), e.totalExec)
+	if head, ok := e.Policy.Head(e.arb.GlobalCommits()); ok {
+		s += fmt.Sprintf("policy head: proc %d\n", head)
+	}
+	for _, co := range e.cores {
+		cur := "-"
+		if co.cur != nil {
+			cur = fmt.Sprintf("seq=%d insts=%d/%d restarts=%d", co.cur.SeqID, co.cur.Insts, co.cur.Target, co.cur.Restarts)
+		}
+		s += fmt.Sprintf("  p%d clock=%d nextSeq=%d chunks=%d blocked=%d halted=%v haltDone=%v squashes=%d useful=%d wasted=%d cur[%s]\n",
+			co.proc, co.tm.Clock, co.nextSeq, len(co.chunks), co.blocked, co.ts.Halted, co.haltDone, co.squashes, co.useful, co.wasted, cur)
+	}
+	return s
+}
+
+// MemSys exposes hierarchy counters to tests and experiments.
+func (e *Engine) MemSys() *sim.MemSys { return e.ms }
+
+// Arbiter exposes the commit arbiter for Table 6 statistics.
+func (e *Engine) Arbiter() *arbiter.Arbiter { return e.arb }

@@ -1,0 +1,72 @@
+package bulksc
+
+import (
+	"testing"
+
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/sim"
+)
+
+// fenceProgram interleaves store misses with fences.
+func fenceProgram(base uint32, n int, withFences bool) *isa.Program {
+	a := isa.NewAsm()
+	a.Ldi(1, int64(base))
+	a.Ldi(2, 0)
+	a.Ldi(3, int64(n))
+	a.Label("loop")
+	a.St(1, 0, 2)
+	if withFences {
+		a.Fence()
+	}
+	a.Addi(1, 1, isa.LineWords)
+	a.Addi(2, 2, 1)
+	a.Blt(2, 3, "loop")
+	a.Halt()
+	return a.Assemble()
+}
+
+// TestChunksSubsumeFences verifies the performance mechanism behind the
+// paper's "records at the speed of the most aggressive consistency
+// models": under chunked execution a FENCE is a no-op (chunk atomicity
+// already provides SC), while under RC every fence drains the store
+// buffer and outstanding misses.
+func TestChunksSubsumeFences(t *testing.T) {
+	cfg := sim.Default8()
+	cfg.NProcs = 1
+	cfg.MaxInsts = 50_000_000
+	const n = 1200
+
+	runChunked := func(fences bool) uint64 {
+		e := &Engine{Cfg: cfg, Progs: []*isa.Program{fenceProgram(0x100000, n, fences)}, Mem: mem.New()}
+		st := e.Run()
+		if !st.Converged {
+			t.Fatal("not converged")
+		}
+		return st.Cycles
+	}
+	runRC := func(fences bool) uint64 {
+		m := sim.NewMachine(cfg, sim.RC, []*isa.Program{fenceProgram(0x100000, n, fences)}, mem.New(), nil)
+		st := m.Run()
+		if !st.Converged {
+			t.Fatal("not converged")
+		}
+		return st.Cycles
+	}
+
+	chunkedPlain, chunkedFences := runChunked(false), runChunked(true)
+	rcPlain, rcFences := runRC(false), runRC(true)
+
+	// RC pays heavily for fences on a store-miss stream.
+	if float64(rcFences) < 1.5*float64(rcPlain) {
+		t.Errorf("RC fences cost too little: %d vs %d cycles", rcFences, rcPlain)
+	}
+	// Chunked execution must not (within a few percent of commit noise).
+	if float64(chunkedFences) > 1.1*float64(chunkedPlain) {
+		t.Errorf("chunked fences not free: %d vs %d cycles", chunkedFences, chunkedPlain)
+	}
+	// And fenced chunked execution beats fenced RC outright.
+	if chunkedFences >= rcFences {
+		t.Errorf("fenced: chunked %d >= RC %d cycles", chunkedFences, rcFences)
+	}
+}

@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delorean/internal/rng"
+)
+
+func newSmall() *Cache {
+	// 4 sets x 2 ways x 32B lines = 256 bytes.
+	return New(256, 2)
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(32*1024, 4) // paper L1
+	if c.Ways() != 4 {
+		t.Errorf("ways = %d", c.Ways())
+	}
+	if c.NumSets() != 256 {
+		t.Errorf("sets = %d, want 256", c.NumSets())
+	}
+	c2 := New(8*1024*1024, 8) // paper L2
+	if c2.NumSets() != 32768 {
+		t.Errorf("L2 sets = %d, want 32768", c2.NumSets())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(96, 2) // 3 sets: not a power of two
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newSmall()
+	if c.Access(100) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Install(100)
+	if !c.Access(100) {
+		t.Fatal("miss after install")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newSmall() // 2 ways
+	// Lines 0, 4, 8 all map to set 0 (4 sets).
+	c.Install(0)
+	c.Install(4)
+	evicted, did := c.Install(8)
+	if !did || evicted != 0 {
+		t.Fatalf("evicted %d (did=%v), want 0", evicted, did)
+	}
+	if c.Contains(0) {
+		t.Fatal("evicted line still present")
+	}
+	if !c.Contains(4) || !c.Contains(8) {
+		t.Fatal("resident lines missing")
+	}
+}
+
+func TestAccessRefreshesLRU(t *testing.T) {
+	c := newSmall()
+	c.Install(0)
+	c.Install(4)
+	c.Access(0) // 0 becomes MRU; 4 is now LRU
+	evicted, did := c.Install(8)
+	if !did || evicted != 4 {
+		t.Fatalf("evicted %d, want 4 after refreshing 0", evicted)
+	}
+}
+
+func TestInstallExistingIsAccess(t *testing.T) {
+	c := newSmall()
+	c.Install(0)
+	if _, did := c.Install(0); did {
+		t.Fatal("re-install evicted something")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newSmall()
+	c.Install(12)
+	if !c.Invalidate(12) {
+		t.Fatal("Invalidate missed resident line")
+	}
+	if c.Contains(12) {
+		t.Fatal("line survives invalidation")
+	}
+	if c.Invalidate(12) {
+		t.Fatal("Invalidate hit absent line")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := newSmall()
+	c.Install(1)
+	c.Install(2)
+	c.Flush()
+	if c.Contains(1) || c.Contains(2) {
+		t.Fatal("lines survive flush")
+	}
+}
+
+func TestSetMapping(t *testing.T) {
+	c := newSmall() // 4 sets
+	if c.SetOf(0) != 0 || c.SetOf(1) != 1 || c.SetOf(5) != 1 || c.SetOf(7) != 3 {
+		t.Fatal("SetOf mapping wrong")
+	}
+}
+
+func TestDisjointSetsDontInterfere(t *testing.T) {
+	c := newSmall()
+	for line := uint32(0); line < 8; line++ { // 2 lines per set exactly
+		c.Install(line)
+	}
+	for line := uint32(0); line < 8; line++ {
+		if !c.Contains(line) {
+			t.Fatalf("line %d evicted though its set had room", line)
+		}
+	}
+}
+
+// Property: occupancy per set never exceeds associativity, and a just-
+// installed line is always present.
+func TestQuickInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		c := newSmall()
+		for i := 0; i < 500; i++ {
+			line := uint32(s.Intn(64))
+			switch s.Intn(3) {
+			case 0:
+				c.Access(line)
+			case 1:
+				c.Install(line)
+				if !c.Contains(line) {
+					return false
+				}
+			case 2:
+				c.Invalidate(line)
+			}
+		}
+		for set := 0; set < c.NumSets(); set++ {
+			n := 0
+			for line := uint32(0); line < 64; line++ {
+				if c.SetOf(line) == set && c.Contains(line) {
+					n++
+				}
+			}
+			if n > c.Ways() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(32*1024, 4)
+	c.Install(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(1)
+	}
+}

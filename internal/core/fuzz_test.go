@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/rng"
+)
+
+// randomProgram generates a terminating program of random shared/private
+// memory traffic: loads, stores, atomics, fences and branches over a
+// small hot shared region (heavy conflicts), a larger warm region, and a
+// private area. It is the adversarial input for record/replay: lots of
+// races, lots of squashes, value-dependent control flow.
+func randomProgram(seed uint64, iters int) *isa.Program {
+	s := rng.New(seed)
+	a := isa.NewAsm()
+	a.LockInit()
+	a.Muli(9, 15, 0x80000)
+	a.Addi(9, 9, 0x1000000)
+	a.Ldi(4, 0)
+	a.Ldi(5, int64(iters))
+	a.Label("loop")
+	nops := 4 + s.Intn(8)
+	for i := 0; i < nops; i++ {
+		region := s.Intn(10)
+		switch {
+		case region < 3: // hot shared line (severe contention)
+			a.Ldi(0, int64(0x10000+s.Intn(8)))
+		case region < 6: // warm shared region
+			a.Ldi(0, int64(0x12000+s.Intn(512)))
+		default: // private
+			a.Andi(0, 4, 255)
+			a.Add(0, 0, 9)
+		}
+		switch s.Intn(5) {
+		case 0:
+			a.Ld(6, 0, 0)
+			a.Add(7, 7, 6)
+		case 1:
+			a.St(0, 0, 7)
+		case 2:
+			a.Fadd(6, 0, 7)
+		case 3:
+			a.Ldi(2, int64(s.Intn(100)))
+			a.Swap(6, 0, 2)
+		case 4:
+			a.Ld(6, 0, 0)
+			// Value-dependent branch: diverging values change the path.
+			skip := fmt.Sprintf("sk_%d_%d", seed, a.Here())
+			a.Andi(6, 6, 1)
+			a.Bne(6, 10, skip)
+			a.Addi(7, 7, 13)
+			a.Label(skip)
+		}
+		if s.Bool(0.1) {
+			a.Fence()
+		}
+		a.Work(s.Intn(30), 3)
+	}
+	a.Addi(4, 4, 1)
+	a.Blt(4, 5, "loop")
+	a.Halt()
+	return a.Assemble()
+}
+
+// TestFuzzRecordReplay runs randomized racy programs through record +
+// perturbed replay in every mode. Any engine asymmetry between recording
+// and replay shows up as a fingerprint or memory divergence here.
+func TestFuzzRecordReplay(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		mode := []Mode{OrderSize, OrderOnly, PicoLog}[seed%3]
+		t.Run(fmt.Sprintf("seed%d_%v", seed, mode), func(t *testing.T) {
+			progs := make([]*isa.Program, 4)
+			for p := range progs {
+				progs[p] = randomProgram(uint64(seed*31+p), 60)
+			}
+			cfg := testConfig(4, 150+50*(seed%4))
+			memory := mem.New()
+			rec, err := Record(cfg, mode, progs, memory, nil, RecordOptions{TruncSeed: uint64(seed)})
+			if err != nil {
+				t.Fatalf("record: %v", err)
+			}
+			if rec.Stats.Squashes == 0 {
+				t.Log("note: no squashes this seed")
+			}
+			res, err := Replay(rec, ReplayConfig(cfg), progs, ReplayOptions{
+				Perturb: bulksc.DefaultPerturb(uint64(seed)*7 + 3),
+			})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if !res.Matches(rec) {
+				t.Fatalf("fuzz divergence: fp %x vs %x, mem %x vs %x (squashes rec=%d rep=%d)",
+					res.Fingerprint, rec.Fingerprint, res.MemHash, rec.FinalMemHash,
+					rec.Stats.Squashes, res.Stats.Squashes)
+			}
+		})
+	}
+}

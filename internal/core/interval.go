@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"delorean/internal/arbiter"
+	"delorean/internal/bulksc"
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/sim"
+)
+
+// IntervalCheckpoint is a periodic system checkpoint taken during
+// recording (paper Appendix B's GCC=n cut), plus the fingerprint of the
+// interval from the cut to the end of the recording.
+type IntervalCheckpoint struct {
+	bulksc.Checkpoint
+	// Fingerprint covers only the interval [Slot, end): a replay started
+	// from this checkpoint must reproduce it.
+	Fingerprint uint64
+}
+
+// ReplayFromCheckpoint replays the interval from rec.Checkpoints[idx] to
+// the end of the recording: memory is restored from the checkpoint,
+// processors resume from their saved chunk boundaries, and the log
+// suffixes drive ordering and inputs. Recording with checkpoints
+// requires RecordOptions.CheckpointEvery > 0.
+//
+// Stratified interval replay is not supported: stratum boundaries do not
+// generally align with checkpoint slots.
+func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.Program, opts ReplayOptions) (ReplayResult, error) {
+	if idx < 0 || idx >= len(rec.Checkpoints) {
+		return ReplayResult{}, fmt.Errorf("core: checkpoint %d of %d", idx, len(rec.Checkpoints))
+	}
+	if opts.UseStratified {
+		return ReplayResult{}, fmt.Errorf("core: stratified interval replay is not supported")
+	}
+	if cfg.NProcs != rec.NProcs {
+		return ReplayResult{}, fmt.Errorf("core: replay with %d procs, recording has %d", cfg.NProcs, rec.NProcs)
+	}
+	cp := rec.Checkpoints[idx]
+	cfg.ChunkSize = rec.ChunkSize
+
+	memory := mem.New()
+	memory.Restore(cp.Mem)
+
+	var policy arbiter.Policy
+	if rec.Mode == PicoLog {
+		var slots []arbiter.SlotRef
+		for _, e := range rec.Slots.Entries() {
+			if e.Slot >= cp.Slot {
+				slots = append(slots, arbiter.SlotRef{Slot: e.Slot, Proc: e.Proc})
+			}
+		}
+		for _, e := range rec.DMA.Entries() {
+			if e.Slot >= cp.Slot {
+				slots = append(slots, arbiter.SlotRef{Slot: e.Slot, Proc: bulksc.DMAProc(rec.NProcs)})
+			}
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i].Slot < slots[j].Slot })
+		policy = arbiter.NewRoundRobinReplayAt(rec.NProcs, cp.TokenAt, slots)
+	} else {
+		entries := rec.PI.Entries()
+		if cp.Slot > uint64(len(entries)) {
+			return ReplayResult{}, fmt.Errorf("core: checkpoint slot %d beyond PI log (%d)", cp.Slot, len(entries))
+		}
+		policy = arbiter.NewLogOrder(entries[cp.Slot:])
+	}
+
+	src := newLogSource(rec)
+	for p := 0; p < rec.NProcs; p++ {
+		src.ioIdx[p] = cp.Procs[p].IOConsumed
+	}
+	// Skip DMA entries already applied before the cut.
+	for src.dmaIdx < len(src.dma) && src.dma[src.dmaIdx].Slot < cp.Slot {
+		src.dmaIdx++
+	}
+
+	obs := &replayObserver{fp: newFingerprint(rec.NProcs)}
+	eng := &bulksc.Engine{
+		Cfg:            cfg,
+		Progs:          progs,
+		Mem:            memory,
+		Obs:            obs,
+		Policy:         policy,
+		Replay:         src,
+		Perturb:        opts.Perturb,
+		ExactConflicts: opts.ExactConflicts,
+		PicoLog:        rec.Mode == PicoLog,
+		Resume:         &bulksc.Resume{Procs: cp.Procs, BaseCommits: cp.Slot},
+	}
+	st := eng.Run()
+	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}
+	if !st.Converged {
+		return res, errNotConverged
+	}
+	return res, nil
+}
+
+// MatchesInterval reports whether an interval replay reproduced the
+// recorded interval: the fingerprint from the checkpoint cut and the
+// final architectural memory state.
+func (r ReplayResult) MatchesInterval(rec *Recording, idx int) bool {
+	if idx < 0 || idx >= len(rec.Checkpoints) {
+		return false
+	}
+	return r.Fingerprint == rec.Checkpoints[idx].Fingerprint && r.MemHash == rec.FinalMemHash
+}

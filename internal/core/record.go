@@ -1,0 +1,189 @@
+package core
+
+import (
+	"delorean/internal/arbiter"
+	"delorean/internal/bulksc"
+	"delorean/internal/device"
+	"delorean/internal/dlog"
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/signature"
+	"delorean/internal/sim"
+	"delorean/internal/stratifier"
+)
+
+// RecordOptions tune a recording run.
+type RecordOptions struct {
+	// StratifyMax, when > 0, additionally builds the Strata-reorganized
+	// PI log with at most this many chunks per processor per stratum
+	// (paper §4.3 and Figure 9 evaluate 1, 3 and 7).
+	StratifyMax int
+	// ExactConflicts switches the squash oracle (ablation).
+	ExactConflicts bool
+	// TruncSeed seeds Order&Size's random chunk truncation model (paper
+	// §5: 25% of chunks truncated to a uniform size). Ignored in the
+	// deterministic-chunking modes.
+	TruncSeed uint64
+	// CheckpointEvery, when > 0, takes a system checkpoint every that
+	// many chunk commits; ReplayFromCheckpoint can then replay any
+	// interval (paper Appendix B's I(n, m)).
+	CheckpointEvery uint64
+}
+
+// recorder turns the engine's commit stream into a Recording. It
+// implements bulksc.Observer.
+type recorder struct {
+	rec   *Recording
+	strat *stratifier.Stratifier
+	// fps[0] fingerprints the whole run; each checkpoint spawns another
+	// that accumulates only the interval after its cut.
+	fps    []*fingerprint
+	nprocs int
+}
+
+func (r *recorder) eachFP(f func(*fingerprint)) {
+	for _, fp := range r.fps {
+		f(fp)
+	}
+}
+
+func (r *recorder) onCheckpoint(cp bulksc.Checkpoint) {
+	r.rec.Checkpoints = append(r.rec.Checkpoints, IntervalCheckpoint{Checkpoint: cp})
+	r.fps = append(r.fps, newFingerprint(r.nprocs))
+}
+
+func (r *recorder) OnCommit(ev bulksc.CommitEvent) {
+	switch r.rec.Mode {
+	case OrderSize:
+		r.rec.PI.Append(ev.Proc)
+		r.rec.Sizes[ev.Proc].Append(ev.Size)
+	case OrderOnly:
+		r.rec.PI.Append(ev.Proc)
+		if ev.Reason.NonDeterministic() {
+			r.rec.CS[ev.Proc].Append(ev.SeqID, ev.Size)
+		}
+	case PicoLog:
+		if ev.Urgent {
+			r.rec.Slots.Append(dlog.SlotEntry{Slot: ev.Slot, Proc: ev.Proc})
+		}
+		if ev.Reason.NonDeterministic() {
+			r.rec.CS[ev.Proc].Append(ev.SeqID, ev.Size)
+		}
+	}
+	if r.strat != nil {
+		r.strat.Add(ev.Proc, ev.RSig, ev.WSig)
+	}
+	r.eachFP(func(fp *fingerprint) { fp.commit(ev) })
+}
+
+func (r *recorder) OnSquash(int, uint64, int, int) {}
+
+func (r *recorder) OnInterrupt(proc int, seq uint64, typ, data int64, urgent bool) {
+	r.rec.Intr[proc].Append(dlog.IntrEntry{SeqID: seq, Type: typ, Data: data, Urgent: urgent})
+	r.eachFP(func(fp *fingerprint) { fp.intr(proc, seq, typ, data) })
+}
+
+func (r *recorder) OnIORead(proc int, port int64, v uint64) {
+	r.rec.IO[proc].Append(v)
+	r.eachFP(func(fp *fingerprint) { fp.io(proc, v) })
+}
+
+func (r *recorder) OnDMACommit(slot uint64, addr uint32, data []uint64) {
+	cp := make([]uint64, len(data))
+	copy(cp, data)
+	r.rec.DMA.Append(dlog.DMAEntry{Addr: addr, Data: cp, Slot: slot})
+	if r.rec.Mode != PicoLog {
+		r.rec.PI.Append(bulksc.DMAProc(r.nprocs))
+	}
+	if r.strat != nil {
+		var w signature.Sig
+		last := uint32(0xffffffff)
+		for k := range data {
+			if l := isa.LineOf(addr + uint32(k)); l != last {
+				w.Insert(l)
+				last = l
+			}
+		}
+		r.strat.Add(bulksc.DMAProc(r.nprocs), &w, &w)
+	}
+	r.eachFP(func(fp *fingerprint) { fp.dma(addr, data) })
+}
+
+var _ bulksc.Observer = (*recorder)(nil)
+
+// Record executes progs on the chunked machine in the given mode,
+// capturing a Recording. memory provides the initial state (the system
+// checkpoint); it is mutated by the run. devs supplies interrupts, I/O
+// values and DMA traffic (nil for none).
+func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory, devs *device.Devices, opts RecordOptions) (*Recording, error) {
+	rec := &Recording{
+		Mode:       mode,
+		NProcs:     cfg.NProcs,
+		ChunkSize:  cfg.ChunkSize,
+		InitialMem: memory.Snapshot(),
+		DMA:        &dlog.DMALog{},
+		Slots:      &dlog.SlotLog{},
+	}
+	if mode != PicoLog {
+		rec.PI = dlog.NewPILog(cfg.NProcs)
+	}
+	for p := 0; p < cfg.NProcs; p++ {
+		rec.CS = append(rec.CS, dlog.NewCSLog(cfg.ChunkSize))
+		rec.Intr = append(rec.Intr, &dlog.IntrLog{})
+		rec.IO = append(rec.IO, &dlog.IOLog{})
+		if mode == OrderSize {
+			rec.Sizes = append(rec.Sizes, dlog.NewSizeLog(cfg.ChunkSize))
+		}
+	}
+
+	r := &recorder{rec: rec, fps: []*fingerprint{newFingerprint(cfg.NProcs)}, nprocs: cfg.NProcs}
+	if opts.StratifyMax > 0 && mode != PicoLog {
+		r.strat = stratifier.New(cfg.NProcs, opts.StratifyMax)
+	}
+
+	var policy arbiter.Policy
+	if mode == PicoLog {
+		policy = arbiter.NewRoundRobin(cfg.NProcs)
+	} else {
+		policy = arbiter.FreeOrder{}
+	}
+
+	eng := &bulksc.Engine{
+		Cfg:            cfg,
+		Progs:          progs,
+		Mem:            memory,
+		Devs:           devs,
+		Obs:            r,
+		Policy:         policy,
+		ExactConflicts: opts.ExactConflicts,
+		PicoLog:        mode == PicoLog,
+	}
+	if mode == OrderSize {
+		eng.RandomTrunc = bulksc.DefaultRandomTrunc(opts.TruncSeed ^ 0xD0_0DAD)
+	}
+	if opts.CheckpointEvery > 0 {
+		eng.CheckpointEvery = opts.CheckpointEvery
+		eng.OnCheckpoint = r.onCheckpoint
+	}
+	rec.Stats = eng.Run()
+	if !rec.Stats.Converged {
+		return rec, errNotConverged
+	}
+	if r.strat != nil {
+		rec.Stratified = r.strat.Finish()
+	}
+	rec.Fingerprint = r.fps[0].sum()
+	for i := range rec.Checkpoints {
+		rec.Checkpoints[i].Fingerprint = r.fps[i+1].sum()
+	}
+	rec.FinalMemHash = memory.Hash()
+	return rec, nil
+}
+
+type recErr string
+
+func (e recErr) Error() string { return string(e) }
+
+// errNotConverged reports that the run hit its instruction budget before
+// all threads halted.
+const errNotConverged = recErr("core: execution did not converge within the instruction budget")

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"delorean/internal/arbiter"
+	"delorean/internal/bulksc"
+	"delorean/internal/dlog"
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/sim"
+	"delorean/internal/stratifier"
+)
+
+// ReplayResult is the outcome of a deterministic replay.
+type ReplayResult struct {
+	Stats       bulksc.Stats
+	Fingerprint uint64
+	MemHash     uint64
+}
+
+// Matches reports whether the replay reproduced the recording: the same
+// per-processor chunk streams and inputs (fingerprint) and the same final
+// architectural memory state.
+func (r ReplayResult) Matches(rec *Recording) bool {
+	return r.Fingerprint == rec.Fingerprint && r.MemHash == rec.FinalMemHash
+}
+
+// logSource adapts a Recording to the engine's ReplaySource.
+type logSource struct {
+	trunc  []map[uint64]int
+	intr   []map[uint64]dlog.IntrEntry
+	io     [][]uint64
+	ioIdx  []int
+	dma    []dlog.DMAEntry
+	dmaIdx int
+}
+
+func newLogSource(rec *Recording) *logSource {
+	s := &logSource{dma: rec.DMA.Entries()}
+	for p := 0; p < rec.NProcs; p++ {
+		if rec.Mode == OrderSize {
+			// Every chunk's size is logged; expose them all as
+			// truncations so chunking follows the size log exactly.
+			m := make(map[uint64]int, rec.Sizes[p].Len())
+			for seq, sz := range rec.Sizes[p].Sizes() {
+				m[uint64(seq)] = sz
+			}
+			s.trunc = append(s.trunc, m)
+		} else {
+			s.trunc = append(s.trunc, rec.CS[p].Lookup())
+		}
+		s.intr = append(s.intr, rec.Intr[p].Lookup())
+		s.io = append(s.io, rec.IO[p].Values())
+		s.ioIdx = append(s.ioIdx, 0)
+	}
+	return s
+}
+
+func (s *logSource) Truncation(proc int, seqID uint64) (int, bool) {
+	sz, ok := s.trunc[proc][seqID]
+	return sz, ok
+}
+
+func (s *logSource) InterruptAt(proc int, seqID uint64) (int64, int64, bool, bool) {
+	e, ok := s.intr[proc][seqID]
+	if !ok {
+		return 0, 0, false, false
+	}
+	return e.Type, e.Data, e.Urgent, true
+}
+
+func (s *logSource) NextIOValue(proc int) (uint64, bool) {
+	if s.ioIdx[proc] >= len(s.io[proc]) {
+		return 0, false
+	}
+	v := s.io[proc][s.ioIdx[proc]]
+	s.ioIdx[proc]++
+	return v, true
+}
+
+func (s *logSource) NextDMA() (uint32, []uint64, bool) {
+	if s.dmaIdx >= len(s.dma) {
+		return 0, nil, false
+	}
+	e := s.dma[s.dmaIdx]
+	s.dmaIdx++
+	return e.Addr, e.Data, true
+}
+
+var _ bulksc.ReplaySource = (*logSource)(nil)
+
+// replayObserver builds the replay-side fingerprint.
+type replayObserver struct {
+	bulksc.NopObserver
+	fp *fingerprint
+}
+
+func (o *replayObserver) OnCommit(ev bulksc.CommitEvent) { o.fp.commit(ev) }
+func (o *replayObserver) OnIORead(proc int, _ int64, v uint64) {
+	o.fp.io(proc, v)
+}
+func (o *replayObserver) OnInterrupt(proc int, seq uint64, typ, data int64, _ bool) {
+	o.fp.intr(proc, seq, typ, data)
+}
+func (o *replayObserver) OnDMACommit(_ uint64, addr uint32, data []uint64) {
+	o.fp.dma(addr, data)
+}
+
+// ReplayOptions tune a replay run.
+type ReplayOptions struct {
+	// Perturb injects the paper's timing noise; nil replays with clean
+	// timing.
+	Perturb *bulksc.Perturb
+	// UseStratified enforces the recording's stratified PI log instead of
+	// the exact PI sequence (only meaningful if the recording carried
+	// one).
+	UseStratified bool
+	// ExactConflicts matches the recording's squash oracle.
+	ExactConflicts bool
+}
+
+// Replay re-executes progs deterministically from rec. cfg should
+// normally be ReplayConfig(recording cfg). The programs must be the same
+// binaries that were recorded.
+func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOptions) (ReplayResult, error) {
+	if cfg.NProcs != rec.NProcs {
+		return ReplayResult{}, fmt.Errorf("core: replay with %d procs, recording has %d", cfg.NProcs, rec.NProcs)
+	}
+	cfg.ChunkSize = rec.ChunkSize
+
+	memory := mem.New()
+	memory.Restore(rec.InitialMem)
+
+	var policy arbiter.Policy
+	switch {
+	case rec.Mode == PicoLog:
+		var slots []arbiter.SlotRef
+		for _, e := range rec.Slots.Entries() {
+			slots = append(slots, arbiter.SlotRef{Slot: e.Slot, Proc: e.Proc})
+		}
+		for _, e := range rec.DMA.Entries() {
+			slots = append(slots, arbiter.SlotRef{Slot: e.Slot, Proc: bulksc.DMAProc(rec.NProcs)})
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i].Slot < slots[j].Slot })
+		policy = arbiter.NewRoundRobinReplay(rec.NProcs, slots)
+	case opts.UseStratified:
+		if rec.Stratified == nil {
+			return ReplayResult{}, fmt.Errorf("core: recording has no stratified PI log")
+		}
+		policy = stratifier.NewStratumOrder(rec.Stratified, rec.NProcs)
+	default:
+		policy = arbiter.NewLogOrder(rec.PI.Entries())
+	}
+
+	obs := &replayObserver{fp: newFingerprint(rec.NProcs)}
+	eng := &bulksc.Engine{
+		Cfg:            cfg,
+		Progs:          progs,
+		Mem:            memory,
+		Obs:            obs,
+		Policy:         policy,
+		Replay:         newLogSource(rec),
+		Perturb:        opts.Perturb,
+		ExactConflicts: opts.ExactConflicts,
+		PicoLog:        rec.Mode == PicoLog,
+	}
+	st := eng.Run()
+	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}
+	if !st.Converged {
+		return res, errNotConverged
+	}
+	return res, nil
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"delorean/internal/dlog"
+	"delorean/internal/stratifier"
+)
+
+func rebuildStratified(nprocs, maxChunk int, rows [][]int) *stratifier.StratifiedLog {
+	return stratifier.Rebuild(nprocs, maxChunk, rows)
+}
+
+// Recording serialization: a recording written during one session can be
+// replayed in another (or on another machine). The container stores the
+// logs in their bit-packed wire formats plus the system checkpoint.
+//
+// Layout (little-endian):
+//
+//	magic "DLRN" | version u16 | mode u8 | nprocs u16 | chunkSize u32
+//	fingerprint u64 | finalMemHash u64 | stats: insts u64, chunks u64, cycles u64
+//	initial memory: count u32, then (addr u32, value u64) pairs in
+//	  ascending address order
+//	PI log: present u8 [, entries u32, bit-length u32, packed bytes]
+//	per proc: CS log (entry count u32, bit-length u32, packed)
+//	per proc (Order&Size): size log (count u32, bit-length u32, packed)
+//	per proc: interrupt log, I/O log
+//	DMA log, slot log, stratified log (optional)
+const (
+	recMagic   = "DLRN"
+	recVersion = 1
+)
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) write(p []byte) {
+	if c.err != nil {
+		return
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+}
+
+func (c *countingWriter) u8(v uint8) { c.write([]byte{v}) }
+func (c *countingWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	c.write(b[:])
+}
+func (c *countingWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.write(b[:])
+}
+func (c *countingWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.write(b[:])
+}
+
+func (c *countingWriter) packed(buf []byte, bits int) {
+	c.u32(uint32(bits))
+	c.write(buf[:(bits+7)/8])
+}
+
+// WriteTo serializes the recording. It implements io.WriterTo.
+func (r *Recording) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	c := &countingWriter{w: bw}
+
+	c.write([]byte(recMagic))
+	c.u16(recVersion)
+	c.u8(uint8(r.Mode))
+	c.u16(uint16(r.NProcs))
+	c.u32(uint32(r.ChunkSize))
+	c.u64(r.Fingerprint)
+	c.u64(r.FinalMemHash)
+	c.u64(r.Stats.Insts)
+	c.u64(r.Stats.Chunks)
+	c.u64(r.Stats.Cycles)
+
+	// Initial memory, canonical order.
+	addrs := make([]uint32, 0, len(r.InitialMem))
+	for a := range r.InitialMem {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	c.u32(uint32(len(addrs)))
+	for _, a := range addrs {
+		c.u32(a)
+		c.u64(r.InitialMem[a])
+	}
+
+	// PI log.
+	if r.PI != nil {
+		c.u8(1)
+		c.u32(uint32(r.PI.Len()))
+		buf, bits := r.PI.Pack()
+		c.packed(buf, bits)
+	} else {
+		c.u8(0)
+	}
+
+	for p := 0; p < r.NProcs; p++ {
+		c.u32(uint32(r.CS[p].Len()))
+		buf, bits := r.CS[p].Pack()
+		c.packed(buf, bits)
+	}
+	if r.Mode == OrderSize {
+		for p := 0; p < r.NProcs; p++ {
+			c.u32(uint32(r.Sizes[p].Len()))
+			buf, bits := r.Sizes[p].Pack()
+			c.packed(buf, bits)
+		}
+	}
+	for p := 0; p < r.NProcs; p++ {
+		c.u32(uint32(r.Intr[p].Len()))
+		buf, bits := r.Intr[p].Pack()
+		c.packed(buf, bits)
+	}
+	for p := 0; p < r.NProcs; p++ {
+		vals := r.IO[p].Values()
+		c.u32(uint32(len(vals)))
+		for _, v := range vals {
+			c.u64(v)
+		}
+	}
+	c.u32(uint32(r.DMA.Len()))
+	buf, bits := r.DMA.Pack()
+	c.packed(buf, bits)
+
+	// Slot log (PicoLog urgent commits): stored as explicit pairs.
+	slots := r.Slots.Entries()
+	c.u32(uint32(len(slots)))
+	for _, e := range slots {
+		c.u64(e.Slot)
+		c.u16(uint16(e.Proc))
+	}
+
+	// Stratified log: stored as explicit counters (it is small).
+	if r.Stratified != nil {
+		c.u8(1)
+		c.u32(uint32(r.Stratified.Len()))
+		// max chunks/stratum recoverable from counter bits is ambiguous;
+		// store it.
+		c.u16(uint16(1)<<uint(r.Stratified.CounterBits()) - 1)
+		for _, row := range r.Stratified.Strata() {
+			for _, v := range row {
+				c.u16(uint16(v))
+			}
+		}
+	} else {
+		c.u8(0)
+	}
+
+	if c.err == nil {
+		c.err = bw.Flush()
+	}
+	return c.n, c.err
+}
+
+type reader struct {
+	r   io.Reader
+	err error
+}
+
+func (d *reader) read(p []byte) {
+	if d.err != nil {
+		return
+	}
+	_, d.err = io.ReadFull(d.r, p)
+}
+
+func (d *reader) u8() uint8   { var b [1]byte; d.read(b[:]); return b[0] }
+func (d *reader) u16() uint16 { var b [2]byte; d.read(b[:]); return binary.LittleEndian.Uint16(b[:]) }
+func (d *reader) u32() uint32 { var b [4]byte; d.read(b[:]); return binary.LittleEndian.Uint32(b[:]) }
+func (d *reader) u64() uint64 { var b [8]byte; d.read(b[:]); return binary.LittleEndian.Uint64(b[:]) }
+
+func (d *reader) packed() ([]byte, int) {
+	bits := int(d.u32())
+	if d.err != nil || bits < 0 || bits > 1<<34 {
+		if d.err == nil {
+			d.err = fmt.Errorf("core: implausible packed length %d bits", bits)
+		}
+		return nil, 0
+	}
+	buf := make([]byte, (bits+7)/8)
+	d.read(buf)
+	return buf, bits
+}
+
+// ReadRecording deserializes a recording written by WriteTo.
+func ReadRecording(src io.Reader) (*Recording, error) {
+	d := &reader{r: bufio.NewReader(src)}
+
+	var magic [4]byte
+	d.read(magic[:])
+	if d.err != nil {
+		return nil, d.err
+	}
+	if string(magic[:]) != recMagic {
+		return nil, fmt.Errorf("core: not a DeLorean recording (magic %q)", magic)
+	}
+	if v := d.u16(); v != recVersion {
+		return nil, fmt.Errorf("core: unsupported recording version %d", v)
+	}
+
+	r := &Recording{
+		Mode:  Mode(d.u8()),
+		DMA:   &dlog.DMALog{},
+		Slots: &dlog.SlotLog{},
+	}
+	r.NProcs = int(d.u16())
+	r.ChunkSize = int(d.u32())
+	if d.err == nil && (r.NProcs <= 0 || r.NProcs > 1024 || r.ChunkSize <= 0) {
+		return nil, fmt.Errorf("core: implausible header (%d procs, chunk %d)", r.NProcs, r.ChunkSize)
+	}
+	r.Fingerprint = d.u64()
+	r.FinalMemHash = d.u64()
+	r.Stats.Insts = d.u64()
+	r.Stats.Chunks = d.u64()
+	r.Stats.Cycles = d.u64()
+	r.Stats.Converged = true
+
+	n := d.u32()
+	r.InitialMem = make(map[uint32]uint64, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		a := d.u32()
+		r.InitialMem[a] = d.u64()
+	}
+
+	if d.u8() == 1 {
+		entries := int(d.u32())
+		buf, bits := d.packed()
+		if d.err == nil {
+			pi, err := dlog.UnpackPILog(r.NProcs, buf, bits, entries)
+			if err != nil {
+				return nil, err
+			}
+			r.PI = pi
+		}
+	}
+
+	for p := 0; p < r.NProcs && d.err == nil; p++ {
+		_ = d.u32() // entry count (implied by the packed stream)
+		buf, bits := d.packed()
+		if d.err != nil {
+			break
+		}
+		cs, err := dlog.UnpackCSLog(r.ChunkSize, buf, bits)
+		if err != nil {
+			return nil, err
+		}
+		r.CS = append(r.CS, cs)
+	}
+	if r.Mode == OrderSize {
+		for p := 0; p < r.NProcs && d.err == nil; p++ {
+			count := int(d.u32())
+			buf, bits := d.packed()
+			if d.err != nil {
+				break
+			}
+			sl, err := dlog.UnpackSizeLog(r.ChunkSize, buf, bits, count)
+			if err != nil {
+				return nil, err
+			}
+			r.Sizes = append(r.Sizes, sl)
+		}
+	}
+	for p := 0; p < r.NProcs && d.err == nil; p++ {
+		count := int(d.u32())
+		buf, bits := d.packed()
+		if d.err != nil {
+			break
+		}
+		il, err := dlog.UnpackIntrLog(buf, bits, count)
+		if err != nil {
+			return nil, err
+		}
+		r.Intr = append(r.Intr, il)
+	}
+	for p := 0; p < r.NProcs && d.err == nil; p++ {
+		count := int(d.u32())
+		il := &dlog.IOLog{}
+		for i := 0; i < count && d.err == nil; i++ {
+			il.Append(d.u64())
+		}
+		r.IO = append(r.IO, il)
+	}
+	{
+		count := int(d.u32())
+		buf, bits := d.packed()
+		if d.err == nil {
+			dl, err := dlog.UnpackDMALog(buf, bits, count)
+			if err != nil {
+				return nil, err
+			}
+			r.DMA = dl
+		}
+	}
+	{
+		count := int(d.u32())
+		for i := 0; i < count && d.err == nil; i++ {
+			slot := d.u64()
+			proc := int(d.u16())
+			r.Slots.Append(dlog.SlotEntry{Slot: slot, Proc: proc})
+		}
+	}
+	if d.u8() == 1 {
+		// Stratified log round-trips through the stratifier's rebuild
+		// helper.
+		strata := int(d.u32())
+		maxChunk := int(d.u16())
+		rows := make([][]int, strata)
+		for i := 0; i < strata && d.err == nil; i++ {
+			row := make([]int, r.NProcs+1)
+			for j := range row {
+				row[j] = int(d.u16())
+			}
+			rows[i] = row
+		}
+		if d.err == nil {
+			r.Stratified = rebuildStratified(r.NProcs, maxChunk, rows)
+		}
+	}
+
+	if d.err != nil {
+		return nil, fmt.Errorf("core: truncated recording: %w", d.err)
+	}
+	return r, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/device"
+	"delorean/internal/isa"
+	"delorean/internal/rng"
+)
+
+func roundTripRecording(t *testing.T, rec *Recording) *Recording {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := rec.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatalf("ReadRecording: %v", err)
+	}
+	return got
+}
+
+func TestSerializeRoundTripAllModes(t *testing.T) {
+	for _, mode := range []Mode{OrderSize, OrderOnly, PicoLog} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := testConfig(4, 300)
+			progs := racyProgs(4, 80)
+			rec, _ := record(t, cfg, mode, progs, nil, RecordOptions{})
+			got := roundTripRecording(t, rec)
+
+			if got.Mode != rec.Mode || got.NProcs != rec.NProcs || got.ChunkSize != rec.ChunkSize {
+				t.Fatal("header mismatch")
+			}
+			if got.Fingerprint != rec.Fingerprint || got.FinalMemHash != rec.FinalMemHash {
+				t.Fatal("hashes mismatch")
+			}
+			if rec.PI != nil {
+				if got.PI == nil || got.PI.Len() != rec.PI.Len() {
+					t.Fatal("PI log mismatch")
+				}
+				for i, p := range rec.PI.Entries() {
+					if got.PI.Entries()[i] != p {
+						t.Fatalf("PI entry %d differs", i)
+					}
+				}
+			} else if got.PI != nil {
+				t.Fatal("phantom PI log")
+			}
+
+			// The loaded recording must replay deterministically.
+			res, err := Replay(got, ReplayConfig(cfg), progs, ReplayOptions{
+				Perturb: bulksc.DefaultPerturb(5),
+			})
+			if err != nil {
+				t.Fatalf("replay of loaded recording: %v", err)
+			}
+			if !res.Matches(rec) {
+				t.Fatal("loaded recording's replay diverged from the original")
+			}
+		})
+	}
+}
+
+func TestSerializeWithSystemEventsAndStratified(t *testing.T) {
+	// Full-fat recording: interrupts, I/O, DMA, and a stratified PI log —
+	// every optional section of the container populated.
+	cfg := testConfig(4, 250)
+	prog4 := replicateProgs(systemProgram(120), 4)
+
+	devs := device.New(42)
+	devs.GenerateInterrupts(rng.New(1), 4, 4_000, 2_000_000, 0.3)
+	devs.GenerateDMA(rng.New(2), 0x900, 4, 8, 6_000, 2_000_000)
+
+	rec, _ := record(t, cfg, OrderOnly, prog4, devs, RecordOptions{StratifyMax: 3})
+	if rec.Stats.Interrupts == 0 || rec.Stats.IOOps == 0 || rec.Stats.DMAs == 0 {
+		t.Fatal("setup: system events missing")
+	}
+	if rec.Stratified == nil {
+		t.Fatal("setup: no stratified log")
+	}
+	got := roundTripRecording(t, rec)
+
+	if got.Stratified == nil || got.Stratified.Len() != rec.Stratified.Len() {
+		t.Fatal("stratified log did not round-trip")
+	}
+	if got.DMA.Len() != rec.DMA.Len() {
+		t.Fatal("DMA log did not round-trip")
+	}
+	for p := 0; p < 4; p++ {
+		if got.Intr[p].Len() != rec.Intr[p].Len() || got.IO[p].Len() != rec.IO[p].Len() {
+			t.Fatalf("proc %d input logs did not round-trip", p)
+		}
+	}
+
+	// Replay the loaded recording (both orderings).
+	for _, strat := range []bool{false, true} {
+		res, err := Replay(got, ReplayConfig(cfg), prog4, ReplayOptions{
+			UseStratified: strat,
+			Perturb:       bulksc.DefaultPerturb(11),
+		})
+		if err != nil {
+			t.Fatalf("replay(strat=%v): %v", strat, err)
+		}
+		if !res.Matches(rec) {
+			t.Fatalf("replay(strat=%v) diverged", strat)
+		}
+	}
+}
+
+func TestSerializePicoLogWithSlots(t *testing.T) {
+	cfg := testConfig(4, 250)
+	prog4 := replicateProgs(systemProgram(120), 4)
+	devs := device.New(9)
+	devs.GenerateInterrupts(rng.New(4), 4, 3_000, 2_000_000, 0.8) // mostly urgent
+	devs.GenerateDMA(rng.New(5), 0x900, 4, 8, 6_000, 2_000_000)
+
+	rec, _ := record(t, cfg, PicoLog, prog4, devs, RecordOptions{})
+	got := roundTripRecording(t, rec)
+	if got.Slots.Len() != rec.Slots.Len() {
+		t.Fatalf("slot log: %d vs %d", got.Slots.Len(), rec.Slots.Len())
+	}
+	res, err := Replay(got, ReplayConfig(cfg), prog4, ReplayOptions{
+		Perturb: bulksc.DefaultPerturb(13),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches(rec) {
+		t.Fatal("PicoLog replay from loaded recording diverged")
+	}
+}
+
+func TestReadRecordingRejectsGarbage(t *testing.T) {
+	if _, err := ReadRecording(strings.NewReader("not a recording at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadRecording(strings.NewReader("DLRN")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReadRecordingRejectsTruncation(t *testing.T) {
+	cfg := testConfig(2, 300)
+	progs := racyProgs(2, 40)
+	rec, _ := record(t, cfg, OrderOnly, progs, nil, RecordOptions{})
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := ReadRecording(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func replicateProgs(p *isa.Program, n int) []*isa.Program {
+	ps := make([]*isa.Program, n)
+	for i := range ps {
+		ps[i] = p
+	}
+	return ps
+}

@@ -1,0 +1,122 @@
+// Package device models the non-processor agents of the machine: I/O
+// ports, interrupt sources, and a DMA engine.
+//
+// These are the machine's sources of input non-determinism, which is why
+// they matter to a replay scheme: an I/O load returns a value that depends
+// on wall-clock timing, interrupts arrive at timing-dependent points, and
+// DMA writes memory asynchronously. DeLorean's input logs (I/O, Interrupt,
+// DMA) exist to capture exactly these events; during replay the device
+// models are bypassed and the logs supply the values (paper §3.3).
+package device
+
+import (
+	"sort"
+
+	"delorean/internal/rng"
+)
+
+// Interrupt is an asynchronous interrupt scheduled for delivery.
+type Interrupt struct {
+	Time uint64 // global cycle of arrival
+	Proc int
+	Type int64
+	Data int64
+	// HighPriority interrupts squash the running chunk to start the
+	// handler promptly; in PicoLog mode their handler chunks may commit
+	// out of turn using the commit-slot mechanism (paper footnote 1).
+	HighPriority bool
+}
+
+// DMATransfer is a device-initiated write of Data to consecutive words at
+// Addr, requested at Time. Under chunked execution the DMA engine must
+// obtain commit permission from the arbiter like a processor.
+type DMATransfer struct {
+	Time uint64
+	Addr uint32
+	Data []uint64
+}
+
+// Devices aggregates the device state for one machine instance.
+type Devices struct {
+	Interrupts []Interrupt   // sorted by Time
+	DMA        []DMATransfer // sorted by Time
+	ioSalt     uint64
+}
+
+// New returns a device set whose I/O port values are derived from salt.
+func New(salt uint64) *Devices {
+	return &Devices{ioSalt: salt}
+}
+
+// AddInterrupt schedules an interrupt; call Finalize after the last one.
+func (d *Devices) AddInterrupt(iv Interrupt) { d.Interrupts = append(d.Interrupts, iv) }
+
+// AddDMA schedules a DMA transfer; call Finalize after the last one.
+func (d *Devices) AddDMA(t DMATransfer) { d.DMA = append(d.DMA, t) }
+
+// Finalize sorts the schedules by time (stable, so equal-time events keep
+// insertion order — determinism again).
+func (d *Devices) Finalize() {
+	sort.SliceStable(d.Interrupts, func(i, j int) bool {
+		return d.Interrupts[i].Time < d.Interrupts[j].Time
+	})
+	sort.SliceStable(d.DMA, func(i, j int) bool { return d.DMA[i].Time < d.DMA[j].Time })
+}
+
+// ReadPort returns the value an uncached I/O load observes on port at the
+// given global cycle. The value is a deterministic function of (salt,
+// port, coarse time), which makes it *timing-sensitive*: two runs whose
+// cycle counts differ will read different values unless the I/O log
+// supplies them. The coarse quantum (1024 cycles) keeps values stable
+// against sub-quantum jitter while still changing across the stalls the
+// replay perturbation injects.
+func (d *Devices) ReadPort(port int64, now uint64) uint64 {
+	s := rng.New(d.ioSalt ^ uint64(port)*0x9e3779b97f4a7c15 ^ (now >> 10))
+	return s.Uint64()
+}
+
+// WritePort models an uncached I/O store. The device swallows the value;
+// only the initiation (and its chunk truncation) matters to replay.
+func (d *Devices) WritePort(port int64, v uint64, now uint64) {}
+
+// GenerateInterrupts populates a periodic-with-jitter interrupt schedule
+// for nprocs processors: roughly one interrupt per period cycles per
+// processor over horizon cycles. Used by the commercial-like workloads.
+func (d *Devices) GenerateInterrupts(src *rng.Source, nprocs int, period, horizon uint64, highPriorityFrac float64) {
+	for p := 0; p < nprocs; p++ {
+		t := period/2 + uint64(src.Intn(int(period/2)))
+		for t < horizon {
+			d.AddInterrupt(Interrupt{
+				Time:         t,
+				Proc:         p,
+				Type:         int64(1 + src.Intn(3)),
+				Data:         int64(src.Uint64() & 0xffff),
+				HighPriority: src.Bool(highPriorityFrac),
+			})
+			t += period/2 + uint64(src.Intn(int(period)))
+		}
+	}
+	d.Finalize()
+}
+
+// GenerateDMA populates a DMA schedule writing bufWords-word buffers into
+// the ring [base, base+slots*bufWords) round-robin, one transfer per
+// period cycles.
+func (d *Devices) GenerateDMA(src *rng.Source, base uint32, slots, bufWords int, period, horizon uint64) {
+	slot := 0
+	t := period
+	for t < horizon {
+		data := make([]uint64, bufWords)
+		for i := range data {
+			data[i] = src.Uint64()
+		}
+		d.AddDMA(DMATransfer{
+			Time: t,
+			Addr: base + uint32(slot*bufWords),
+			Data: data,
+		})
+		slot = (slot + 1) % slots
+		t += period/2 + uint64(src.Intn(int(period)))
+	}
+	d.Finalize()
+}

@@ -1,0 +1,112 @@
+package device
+
+import (
+	"testing"
+
+	"delorean/internal/rng"
+)
+
+func TestReadPortDeterministicAtSameTime(t *testing.T) {
+	d := New(42)
+	a := d.ReadPort(3, 5000)
+	b := d.ReadPort(3, 5000)
+	if a != b {
+		t.Fatal("same (port, time) gave different values")
+	}
+}
+
+func TestReadPortTimeSensitive(t *testing.T) {
+	d := New(42)
+	a := d.ReadPort(3, 0)
+	b := d.ReadPort(3, 1<<20)
+	if a == b {
+		t.Fatal("values identical across distant times (should be timing-sensitive)")
+	}
+}
+
+func TestReadPortStableWithinQuantum(t *testing.T) {
+	d := New(42)
+	if d.ReadPort(3, 2048) != d.ReadPort(3, 2048+100) {
+		t.Fatal("value changed within one quantum")
+	}
+}
+
+func TestReadPortDependsOnPort(t *testing.T) {
+	d := New(42)
+	if d.ReadPort(1, 0) == d.ReadPort(2, 0) {
+		t.Fatal("distinct ports gave equal values")
+	}
+}
+
+func TestReadPortDependsOnSalt(t *testing.T) {
+	if New(1).ReadPort(1, 0) == New(2).ReadPort(1, 0) {
+		t.Fatal("distinct salts gave equal values")
+	}
+}
+
+func TestFinalizeSorts(t *testing.T) {
+	d := New(0)
+	d.AddInterrupt(Interrupt{Time: 500, Proc: 1})
+	d.AddInterrupt(Interrupt{Time: 100, Proc: 2})
+	d.AddDMA(DMATransfer{Time: 900})
+	d.AddDMA(DMATransfer{Time: 200})
+	d.Finalize()
+	if d.Interrupts[0].Time != 100 || d.Interrupts[1].Time != 500 {
+		t.Fatal("interrupts not sorted")
+	}
+	if d.DMA[0].Time != 200 {
+		t.Fatal("DMA not sorted")
+	}
+}
+
+func TestGenerateInterruptsCoversProcs(t *testing.T) {
+	d := New(0)
+	d.GenerateInterrupts(rng.New(7), 4, 10000, 200000, 0.2)
+	seen := map[int]int{}
+	var last uint64
+	for _, iv := range d.Interrupts {
+		if iv.Time < last {
+			t.Fatal("schedule unsorted")
+		}
+		last = iv.Time
+		seen[iv.Proc]++
+		if iv.Proc < 0 || iv.Proc >= 4 {
+			t.Fatalf("interrupt for proc %d", iv.Proc)
+		}
+	}
+	for p := 0; p < 4; p++ {
+		if seen[p] < 5 {
+			t.Fatalf("proc %d got only %d interrupts", p, seen[p])
+		}
+	}
+}
+
+func TestGenerateDMARing(t *testing.T) {
+	d := New(0)
+	d.GenerateDMA(rng.New(3), 1000, 4, 8, 5000, 100000)
+	if len(d.DMA) < 5 {
+		t.Fatalf("only %d transfers generated", len(d.DMA))
+	}
+	for _, tr := range d.DMA {
+		if tr.Addr < 1000 || tr.Addr >= 1000+4*8 {
+			t.Fatalf("transfer addr %d outside ring", tr.Addr)
+		}
+		if len(tr.Data) != 8 {
+			t.Fatalf("transfer size %d, want 8", len(tr.Data))
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a, b := New(5), New(5)
+	a.GenerateInterrupts(rng.New(9), 2, 5000, 50000, 0.1)
+	b.GenerateInterrupts(rng.New(9), 2, 5000, 50000, 0.1)
+	if len(a.Interrupts) != len(b.Interrupts) {
+		t.Fatal("schedules differ in length")
+	}
+	for i := range a.Interrupts {
+		if a.Interrupts[i] != b.Interrupts[i] {
+			t.Fatalf("schedules differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package dlog
+
+import (
+	"delorean/internal/bitio"
+	"delorean/internal/lz77"
+)
+
+// IntrEntry is one interrupt delivery: the handler started as chunk
+// SeqID on its processor, with the interrupt's type and data. Urgent
+// deliveries (high-priority) additionally commit out of turn in PicoLog.
+type IntrEntry struct {
+	SeqID  uint64
+	Type   int64
+	Data   int64
+	Urgent bool
+}
+
+// IntrLog is one processor's interrupt log. Entries are appended in
+// increasing SeqID order and encoded as (varint seq delta, 1-bit urgent,
+// varint type, varint data).
+type IntrLog struct {
+	entries []IntrEntry
+}
+
+// Append records a delivery.
+func (l *IntrLog) Append(e IntrEntry) {
+	if n := len(l.entries); n > 0 && e.SeqID <= l.entries[n-1].SeqID {
+		panic("dlog: interrupt entries out of order")
+	}
+	l.entries = append(l.entries, e)
+}
+
+// Entries returns the recorded deliveries.
+func (l *IntrLog) Entries() []IntrEntry { return l.entries }
+
+// Len returns the entry count.
+func (l *IntrLog) Len() int { return len(l.entries) }
+
+// Lookup builds the seqID→entry map replay consumes.
+func (l *IntrLog) Lookup() map[uint64]IntrEntry {
+	m := make(map[uint64]IntrEntry, len(l.entries))
+	for _, e := range l.entries {
+		m[e.SeqID] = e
+	}
+	return m
+}
+
+// Pack returns the bit-packed log.
+func (l *IntrLog) Pack() ([]byte, int) {
+	var w bitio.Writer
+	var prev uint64
+	for i, e := range l.entries {
+		d := e.SeqID
+		if i > 0 {
+			d = e.SeqID - prev
+		}
+		prev = e.SeqID
+		w.WriteUvarint(d)
+		w.WriteBool(e.Urgent)
+		w.WriteUvarint(uint64(e.Type))
+		w.WriteUvarint(uint64(e.Data))
+	}
+	return w.Bytes(), w.Len()
+}
+
+// RawBits returns the uncompressed size in bits.
+func (l *IntrLog) RawBits() int {
+	_, n := l.Pack()
+	return n
+}
+
+// CompressedBits returns the LZ77-compressed size in bits.
+func (l *IntrLog) CompressedBits() int {
+	b, _ := l.Pack()
+	return lz77.CompressedBits(b)
+}
+
+// UnpackIntrLog decodes n entries.
+func UnpackIntrLog(packed []byte, nbits, n int) (*IntrLog, error) {
+	r := bitio.NewReader(packed, nbits)
+	l := &IntrLog{}
+	var seq uint64
+	for i := 0; i < n; i++ {
+		d, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			seq = d
+		} else {
+			seq += d
+		}
+		urgent, err := r.ReadBool()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		data, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.entries = append(l.entries, IntrEntry{SeqID: seq, Type: int64(typ), Data: int64(data), Urgent: urgent})
+	}
+	return l, nil
+}
+
+// IOLog is one processor's I/O log: the values obtained by its uncached
+// loads, in program order.
+type IOLog struct {
+	values []uint64
+}
+
+// Append records one I/O load value.
+func (l *IOLog) Append(v uint64) { l.values = append(l.values, v) }
+
+// Values returns the recorded values.
+func (l *IOLog) Values() []uint64 { return l.values }
+
+// Len returns the value count.
+func (l *IOLog) Len() int { return len(l.values) }
+
+// RawBits returns the uncompressed size in bits (64 per value).
+func (l *IOLog) RawBits() int { return 64 * len(l.values) }
+
+// Pack returns the bit-packed log.
+func (l *IOLog) Pack() ([]byte, int) {
+	var w bitio.Writer
+	for _, v := range l.values {
+		w.WriteBits(v, 64)
+	}
+	return w.Bytes(), w.Len()
+}
+
+// CompressedBits returns the LZ77-compressed size in bits.
+func (l *IOLog) CompressedBits() int {
+	b, _ := l.Pack()
+	return lz77.CompressedBits(b)
+}
+
+// DMAEntry is one DMA transfer in commit order: the data written, its
+// target address, and — in PicoLog, where there is no PI log — the
+// commit slot it occupied.
+type DMAEntry struct {
+	Addr uint32
+	Data []uint64
+	Slot uint64
+}
+
+// DMALog records DMA transfers in commit order.
+type DMALog struct {
+	entries []DMAEntry
+}
+
+// Append records one transfer.
+func (l *DMALog) Append(e DMAEntry) { l.entries = append(l.entries, e) }
+
+// Entries returns the transfers in commit order.
+func (l *DMALog) Entries() []DMAEntry { return l.entries }
+
+// Len returns the transfer count.
+func (l *DMALog) Len() int { return len(l.entries) }
+
+// RawBits returns the uncompressed size in bits.
+func (l *DMALog) RawBits() int {
+	_, n := l.Pack()
+	return n
+}
+
+// Pack returns the bit-packed log: (varint slot, 32-bit addr, varint
+// word count, words).
+func (l *DMALog) Pack() ([]byte, int) {
+	var w bitio.Writer
+	for _, e := range l.entries {
+		w.WriteUvarint(e.Slot)
+		w.WriteBits(uint64(e.Addr), 32)
+		w.WriteUvarint(uint64(len(e.Data)))
+		for _, v := range e.Data {
+			w.WriteBits(v, 64)
+		}
+	}
+	return w.Bytes(), w.Len()
+}
+
+// CompressedBits returns the LZ77-compressed size in bits.
+func (l *DMALog) CompressedBits() int {
+	b, _ := l.Pack()
+	return lz77.CompressedBits(b)
+}
+
+// UnpackDMALog decodes n entries.
+func UnpackDMALog(packed []byte, nbits, n int) (*DMALog, error) {
+	r := bitio.NewReader(packed, nbits)
+	l := &DMALog{}
+	for i := 0; i < n; i++ {
+		slot, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		addr, err := r.ReadBits(32)
+		if err != nil {
+			return nil, err
+		}
+		count, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		data := make([]uint64, count)
+		for k := range data {
+			v, err := r.ReadBits(64)
+			if err != nil {
+				return nil, err
+			}
+			data[k] = v
+		}
+		l.entries = append(l.entries, DMAEntry{Addr: uint32(addr), Data: data, Slot: slot})
+	}
+	return l, nil
+}
+
+// SlotEntry pins an urgent (high-priority interrupt handler) commit to
+// its recorded commit slot — PicoLog's out-of-turn commit bookkeeping.
+type SlotEntry struct {
+	Slot uint64
+	Proc int
+}
+
+// SlotLog records out-of-turn commit slots in slot order.
+type SlotLog struct {
+	entries []SlotEntry
+}
+
+// Append records one out-of-turn commit.
+func (l *SlotLog) Append(e SlotEntry) {
+	if n := len(l.entries); n > 0 && e.Slot <= l.entries[n-1].Slot {
+		panic("dlog: slot entries out of order")
+	}
+	l.entries = append(l.entries, e)
+}
+
+// Entries returns the slots in order.
+func (l *SlotLog) Entries() []SlotEntry { return l.entries }
+
+// Len returns the entry count.
+func (l *SlotLog) Len() int { return len(l.entries) }
+
+// RawBits returns the uncompressed size in bits.
+func (l *SlotLog) RawBits() int {
+	_, n := l.Pack()
+	return n
+}
+
+// Pack returns the bit-packed log: (varint slot delta, 4-bit proc).
+func (l *SlotLog) Pack() ([]byte, int) {
+	var w bitio.Writer
+	var prev uint64
+	for i, e := range l.entries {
+		d := e.Slot
+		if i > 0 {
+			d = e.Slot - prev
+		}
+		prev = e.Slot
+		w.WriteUvarint(d)
+		w.WriteBits(uint64(e.Proc), 4)
+	}
+	return w.Bytes(), w.Len()
+}

@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on this repository's simulator and workloads.
+// Each harness returns typed rows plus a rendered text table; DESIGN.md
+// carries the experiment index and EXPERIMENTS.md the paper-vs-measured
+// record.
+//
+// Absolute numbers differ from the paper's (different substrate, scaled
+// workloads); the harnesses exist to reproduce the paper's *shapes*: who
+// wins, by roughly what factor, and where the crossovers are.
+package experiments
+
+import (
+	"delorean/internal/bulksc"
+	"delorean/internal/core"
+	"delorean/internal/sim"
+	"delorean/internal/workload"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	Procs int
+	// Scale is the approximate per-processor dynamic instruction count
+	// of each workload run.
+	Scale int
+	Seed  uint64
+	// ReplayRuns is the number of perturbed replays averaged for replay
+	// speed (the paper uses 5).
+	ReplayRuns int
+	// Workloads restricts the workload set (nil: all 13; Figure 12 uses
+	// the SPLASH-2 subset regardless).
+	Workloads []string
+}
+
+// Default returns the paper-shaped configuration at a laptop-friendly
+// scale.
+func Default() Config {
+	return Config{Procs: 8, Scale: 60_000, Seed: 1, ReplayRuns: 5}
+}
+
+// Quick returns a fast configuration for tests and smoke runs.
+func Quick() Config {
+	return Config{Procs: 4, Scale: 8_000, Seed: 1, ReplayRuns: 2}
+}
+
+func (c Config) workloads() []string {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
+	}
+	return workload.Names()
+}
+
+func (c Config) params() workload.Params {
+	return workload.Params{NProcs: c.Procs, Scale: c.Scale, Seed: c.Seed}
+}
+
+func (c Config) machine() sim.Config {
+	m := sim.Default8()
+	m.NProcs = c.Procs
+	m.MaxInsts = 2_000_000_000
+	return m
+}
+
+// groupNames returns the figure x-axis groups: the SPLASH-2 geometric
+// mean plus each commercial workload individually, as in the paper.
+func groupNames() []string { return []string{"SP2-G.M.", "sjbb2k", "sweb2005"} }
+
+// splashIn reports whether name is one of the SPLASH-2 kernels.
+func splashIn(name string) bool {
+	for _, n := range workload.SplashNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// recordWorkload records one workload in the given mode and returns the
+// recording.
+func (c Config) recordWorkload(name string, mode core.Mode, chunkSize int, opts core.RecordOptions) (*core.Recording, error) {
+	w := workload.Get(name, c.params())
+	cfg := c.machine()
+	cfg.ChunkSize = chunkSize
+	return core.Record(cfg, mode, w.Progs, w.InitMem(), w.Devs, opts)
+}
+
+// runClassic executes one workload on the classic machine.
+func (c Config) runClassic(name string, model sim.Model) sim.Stats {
+	w := workload.Get(name, c.params())
+	m := sim.NewMachine(c.machine(), model, w.Progs, w.InitMem(), w.Devs)
+	return m.Run()
+}
+
+// runChunked executes one workload on the plain chunked machine (no
+// recording) and returns the engine for stats inspection.
+func (c Config) runChunked(name string, chunkSize int, picolog bool, simul int) (*bulksc.Engine, bulksc.Stats) {
+	w := workload.Get(name, c.params())
+	cfg := c.machine()
+	cfg.ChunkSize = chunkSize
+	if simul > 0 {
+		cfg.SimulChunks = simul
+	}
+	e := &bulksc.Engine{Cfg: cfg, Progs: w.Progs, Mem: w.InitMem(), Devs: w.Devs, PicoLog: picolog}
+	if picolog {
+		e.Policy = newRR(cfg.NProcs)
+	}
+	st := e.Run()
+	return e, st
+}

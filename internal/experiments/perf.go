@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+
+	"delorean/internal/arbiter"
+	"delorean/internal/bulksc"
+	"delorean/internal/core"
+	"delorean/internal/metrics"
+	"delorean/internal/sim"
+	"delorean/internal/workload"
+)
+
+func newRR(n int) arbiter.Policy { return arbiter.NewRoundRobin(n) }
+
+// Fig10Row is one workload's bar group in Figure 10: initial-execution
+// speed of every environment, normalized to RC.
+type Fig10Row struct {
+	Workload string
+	// Speedups vs RC (RC = 1.0).
+	BulkSC, OrderSize, OrderOnly, StratOrderOnly, PicoLog, SC float64
+}
+
+// Fig10 reproduces Figure 10: performance during initial execution
+// normalized to RC, per workload plus the SPLASH-2 geometric mean.
+func Fig10(c Config) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, name := range c.workloads() {
+		row, err := c.fig10One(name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows, geoMeanFig10("SP2-G.M.", rows))
+	return rows, nil
+}
+
+func (c Config) fig10One(name string) (Fig10Row, error) {
+	rc := c.runClassic(name, sim.RC)
+	if !rc.Converged {
+		return Fig10Row{}, fmt.Errorf("%s: RC did not converge", name)
+	}
+	scSt := c.runClassic(name, sim.SC)
+	speed := func(cycles uint64) float64 {
+		if cycles == 0 {
+			return 0
+		}
+		return float64(rc.Cycles) / float64(cycles)
+	}
+
+	_, plain := c.runChunked(name, 2000, false, 0)
+	row := Fig10Row{Workload: name, BulkSC: speed(plain.Cycles), SC: speed(scSt.Cycles)}
+
+	recOS, err := c.recordWorkload(name, core.OrderSize, 2000, core.RecordOptions{TruncSeed: c.Seed})
+	if err != nil {
+		return row, err
+	}
+	row.OrderSize = speed(recOS.Stats.Cycles)
+
+	recOO, err := c.recordWorkload(name, core.OrderOnly, 2000, core.RecordOptions{})
+	if err != nil {
+		return row, err
+	}
+	row.OrderOnly = speed(recOO.Stats.Cycles)
+
+	recStrat, err := c.recordWorkload(name, core.OrderOnly, 2000, core.RecordOptions{StratifyMax: 1})
+	if err != nil {
+		return row, err
+	}
+	row.StratOrderOnly = speed(recStrat.Stats.Cycles)
+
+	recPL, err := c.recordWorkload(name, core.PicoLog, 1000, core.RecordOptions{})
+	if err != nil {
+		return row, err
+	}
+	row.PicoLog = speed(recPL.Stats.Cycles)
+	return row, nil
+}
+
+func geoMeanFig10(label string, rows []Fig10Row) Fig10Row {
+	pick := func(f func(Fig10Row) float64) []float64 {
+		var xs []float64
+		for _, r := range rows {
+			if splashIn(r.Workload) {
+				xs = append(xs, f(r))
+			}
+		}
+		return xs
+	}
+	return Fig10Row{
+		Workload:       label,
+		BulkSC:         metrics.GeoMean(pick(func(r Fig10Row) float64 { return r.BulkSC })),
+		OrderSize:      metrics.GeoMean(pick(func(r Fig10Row) float64 { return r.OrderSize })),
+		OrderOnly:      metrics.GeoMean(pick(func(r Fig10Row) float64 { return r.OrderOnly })),
+		StratOrderOnly: metrics.GeoMean(pick(func(r Fig10Row) float64 { return r.StratOrderOnly })),
+		PicoLog:        metrics.GeoMean(pick(func(r Fig10Row) float64 { return r.PicoLog })),
+		SC:             metrics.GeoMean(pick(func(r Fig10Row) float64 { return r.SC })),
+	}
+}
+
+// RenderFig10 renders the Figure 10 table.
+func RenderFig10(rows []Fig10Row) string {
+	t := &metrics.Table{
+		Title: "Figure 10: initial-execution speedup normalized to RC (RC = 1.00)",
+		Cols:  []string{"workload", "BulkSC", "Order&Size", "OrderOnly", "StratOO", "PicoLog", "SC"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, metrics.F(r.BulkSC), metrics.F(r.OrderSize), metrics.F(r.OrderOnly),
+			metrics.F(r.StratOrderOnly), metrics.F(r.PicoLog), metrics.F(r.SC))
+	}
+	return t.Render()
+}
+
+// Fig11Row is one workload's execution-vs-replay pair for one mode.
+type Fig11Row struct {
+	Workload string
+	Mode     string // OrderOnly | StratifiedOrderOnly | PicoLog
+	// Speed vs RC.
+	Execution float64
+	Replay    float64
+}
+
+// Fig11 reproduces Figure 11: execution and replay performance of
+// OrderOnly, Stratified OrderOnly and PicoLog, normalized to RC. Replay
+// runs under the paper's §6.2.1 protocol: parallel commit disabled,
+// 50-cycle arbitration, and ReplayRuns perturbed runs averaged.
+func Fig11(c Config) ([]Fig11Row, error) {
+	var rows []Fig11Row
+	for _, name := range c.workloads() {
+		rc := c.runClassic(name, sim.RC)
+		if !rc.Converged {
+			return nil, fmt.Errorf("%s: RC did not converge", name)
+		}
+		speed := func(cycles uint64) float64 { return float64(rc.Cycles) / float64(cycles) }
+
+		type modeSpec struct {
+			label string
+			mode  core.Mode
+			chunk int
+			opts  core.RecordOptions
+			rOpts core.ReplayOptions
+		}
+		specs := []modeSpec{
+			{label: "OrderOnly", mode: core.OrderOnly, chunk: 2000},
+			{label: "StratifiedOrderOnly", mode: core.OrderOnly, chunk: 2000,
+				opts:  core.RecordOptions{StratifyMax: 1},
+				rOpts: core.ReplayOptions{UseStratified: true}},
+			{label: "PicoLog", mode: core.PicoLog, chunk: 1000},
+		}
+		for _, spec := range specs {
+			rec, err := c.recordWorkload(name, spec.mode, spec.chunk, spec.opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, spec.label, err)
+			}
+			w := workload.Get(name, c.params())
+			rcfg := core.ReplayConfig(c.machine())
+			rcfg.ChunkSize = spec.chunk
+			var cyc []float64
+			runs := c.ReplayRuns
+			if runs <= 0 {
+				runs = 5
+			}
+			for run := 0; run < runs; run++ {
+				ro := spec.rOpts
+				ro.Perturb = bulksc.DefaultPerturb(c.Seed*1000 + uint64(run))
+				res, err := core.Replay(rec, rcfg, w.Progs, ro)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s replay: %w", name, spec.label, err)
+				}
+				if !res.Matches(rec) {
+					return nil, fmt.Errorf("%s/%s: replay diverged", name, spec.label)
+				}
+				cyc = append(cyc, float64(res.Stats.Cycles))
+			}
+			rows = append(rows, Fig11Row{
+				Workload:  name,
+				Mode:      spec.label,
+				Execution: speed(rec.Stats.Cycles),
+				Replay:    float64(rc.Cycles) / metrics.Mean(cyc),
+			})
+		}
+	}
+	// SPLASH-2 geometric means per mode.
+	for _, mode := range []string{"OrderOnly", "StratifiedOrderOnly", "PicoLog"} {
+		var ex, rp []float64
+		for _, r := range rows {
+			if r.Mode == mode && splashIn(r.Workload) {
+				ex = append(ex, r.Execution)
+				rp = append(rp, r.Replay)
+			}
+		}
+		rows = append(rows, Fig11Row{
+			Workload:  "SP2-G.M.",
+			Mode:      mode,
+			Execution: metrics.GeoMean(ex),
+			Replay:    metrics.GeoMean(rp),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig11 renders the Figure 11 table.
+func RenderFig11(rows []Fig11Row) string {
+	t := &metrics.Table{
+		Title: "Figure 11: execution and replay speed normalized to RC",
+		Cols:  []string{"workload", "mode", "execution", "replay"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Mode, metrics.F(r.Execution), metrics.F(r.Replay))
+	}
+	return t.Render()
+}
+
+// Fig12Row is one point of Figure 12: PicoLog speed vs RC at a given
+// processor count, chunk size, and simultaneous-chunk limit (SPLASH-2
+// geometric mean).
+type Fig12Row struct {
+	Procs       int
+	ChunkSize   int
+	SimulChunks int
+	Speedup     float64
+}
+
+// Fig12 reproduces Figure 12's sensitivity sweep. The paper uses 4/8/16
+// processors, 500–3000-instruction chunks and 1–16 simultaneous chunks,
+// on SPLASH-2 only (its infrastructure could not run the commercial
+// workloads at 16 processors; ours shares the restriction for fidelity).
+func Fig12(c Config, procs []int, chunkSizes []int, simuls []int) ([]Fig12Row, error) {
+	if len(procs) == 0 {
+		procs = []int{4, 8, 16}
+	}
+	if len(chunkSizes) == 0 {
+		chunkSizes = []int{500, 1000, 2000, 3000}
+	}
+	if len(simuls) == 0 {
+		simuls = []int{1, 2, 3, 4, 8, 16}
+	}
+	var rows []Fig12Row
+	for _, np := range procs {
+		cp := c
+		cp.Procs = np
+		// RC reference per workload at this processor count.
+		rcCycles := map[string]uint64{}
+		for _, name := range workload.SplashNames() {
+			st := cp.runClassic(name, sim.RC)
+			if !st.Converged {
+				return nil, fmt.Errorf("%s@%dp: RC did not converge", name, np)
+			}
+			rcCycles[name] = st.Cycles
+		}
+		for _, cs := range chunkSizes {
+			for _, sm := range simuls {
+				var speeds []float64
+				for _, name := range workload.SplashNames() {
+					_, st := cp.runChunked(name, cs, true, sm)
+					if !st.Converged {
+						return nil, fmt.Errorf("%s@%dp cs=%d sm=%d: did not converge", name, np, cs, sm)
+					}
+					speeds = append(speeds, float64(rcCycles[name])/float64(st.Cycles))
+				}
+				rows = append(rows, Fig12Row{
+					Procs: np, ChunkSize: cs, SimulChunks: sm,
+					Speedup: metrics.GeoMean(speeds),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig12 renders the Figure 12 series.
+func RenderFig12(rows []Fig12Row) string {
+	t := &metrics.Table{
+		Title: "Figure 12: PicoLog speedup vs RC (SPLASH-2 geometric mean)",
+		Cols:  []string{"procs", "chunk", "simul-chunks", "speedup"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.Procs), fmt.Sprint(r.ChunkSize), fmt.Sprint(r.SimulChunks), metrics.F(r.Speedup))
+	}
+	return t.Render()
+}
+
+// Table6Row characterizes PicoLog on one workload (paper Table 6).
+type Table6Row struct {
+	Workload        string
+	ReadyProcsAvg   float64
+	ActualCommitAvg float64
+	ProcReadyPct    float64
+	WaitTokenCyc    float64
+	WaitCompleteCyc float64
+	TokenRoundtrip  float64
+	StallPct        float64
+}
+
+// Table6 reproduces Table 6: PicoLog's commit-token behaviour per
+// workload at 8 processors (or c.Procs).
+func Table6(c Config) ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, name := range c.workloads() {
+		w := workload.Get(name, c.params())
+		cfg := c.machine()
+		cfg.ChunkSize = 1000
+		rr := arbiter.NewRoundRobin(cfg.NProcs)
+		e := &bulksc.Engine{Cfg: cfg, Progs: w.Progs, Mem: w.InitMem(), Devs: w.Devs, Policy: rr, PicoLog: true}
+		st := e.Run()
+		if !st.Converged {
+			return nil, fmt.Errorf("%s: PicoLog run did not converge", name)
+		}
+		arbStats := e.Arbiter().StatsAt(st.Cycles)
+		tok := rr.Tokens()
+		stallPct := 0.0
+		if st.Cycles > 0 {
+			stallPct = 100 * float64(st.SlotStallCycles) / float64(st.Cycles*uint64(cfg.NProcs))
+		}
+		rows = append(rows, Table6Row{
+			Workload:        name,
+			ReadyProcsAvg:   arbStats.ReadyProcsAvg,
+			ActualCommitAvg: arbStats.ActualCommitAvg,
+			ProcReadyPct:    100 * tok.ProcReadyFrac,
+			WaitTokenCyc:    tok.WaitTokenAvg,
+			WaitCompleteCyc: tok.WaitCompleteAvg,
+			TokenRoundtrip:  tok.RoundtripAvg,
+			StallPct:        stallPct,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable6 renders the Table 6 characterization.
+func RenderTable6(rows []Table6Row) string {
+	t := &metrics.Table{
+		Title: "Table 6: characterizing PicoLog",
+		Cols: []string{"workload", "ready procs", "actual commit", "proc ready %",
+			"wait token", "wait cplete", "token rndtrip", "stall %"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, metrics.F(r.ReadyProcsAvg), metrics.F(r.ActualCommitAvg),
+			metrics.F(r.ProcReadyPct), metrics.F(r.WaitTokenCyc), metrics.F(r.WaitCompleteCyc),
+			metrics.F(r.TokenRoundtrip), metrics.F(r.StallPct))
+	}
+	return t.Render()
+}

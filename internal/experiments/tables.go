@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"delorean/internal/baseline"
+	"delorean/internal/metrics"
+	"delorean/internal/sim"
+)
+
+// Table1Data carries the measured quantities Table 1 summarizes.
+type Table1Data struct {
+	// Speeds vs RC (SPLASH-2 geometric means).
+	SCSpeed, OrderOnlySpeed, PicoLogSpeed    float64
+	OrderOnlyReplaySpeed, PicoLogReplaySpeed float64
+	// Log sizes, compressed bits/proc/kilo-instruction.
+	OrderOnlyLog, PicoLogLog, FDRLog, RTRLog, StrataLog float64
+}
+
+// Table1 reproduces the paper's Table 1 scheme comparison, with this
+// repository's measured numbers filled in. It runs Figure 10/11-style
+// measurements on the configured workload set.
+func Table1(c Config) (Table1Data, error) {
+	var d Table1Data
+	f10, err := Fig10(c)
+	if err != nil {
+		return d, err
+	}
+	gm := f10[len(f10)-1] // SP2-G.M.
+	d.SCSpeed = gm.SC
+	d.OrderOnlySpeed = gm.OrderOnly
+	d.PicoLogSpeed = gm.PicoLog
+
+	f11, err := Fig11(c)
+	if err != nil {
+		return d, err
+	}
+	for _, r := range f11 {
+		if r.Workload != "SP2-G.M." {
+			continue
+		}
+		switch r.Mode {
+		case "OrderOnly":
+			d.OrderOnlyReplaySpeed = r.Replay
+		case "PicoLog":
+			d.PicoLogReplaySpeed = r.Replay
+		}
+	}
+
+	bl, err := Baselines(c)
+	if err != nil {
+		return d, err
+	}
+	var fdr, rtr, strata, oo, pl []float64
+	for _, r := range bl {
+		fdr = append(fdr, r.FDR)
+		rtr = append(rtr, r.RTR)
+		strata = append(strata, r.Strata)
+		oo = append(oo, r.OrderOnly)
+		pl = append(pl, r.PicoLog)
+	}
+	d.FDRLog = metrics.GeoMean(fdr)
+	d.RTRLog = metrics.GeoMean(rtr)
+	d.StrataLog = metrics.GeoMean(strata)
+	d.OrderOnlyLog = metrics.GeoMean(oo)
+	d.PicoLogLog = metrics.GeoMean(pl)
+	return d, nil
+}
+
+// RenderTable1 renders the comparison in the paper's Table 1 shape.
+func RenderTable1(d Table1Data) string {
+	t := &metrics.Table{
+		Title: "Table 1: hardware-assisted full-system replay schemes (measured where applicable)",
+		Cols:  []string{"property", "FDR", "RTR (Base)", "Strata", "DeLorean OrderOnly", "DeLorean PicoLog"},
+	}
+	sp := func(v float64) string { return metrics.F(v) + "xRC" }
+	t.AddRow("initial execution speed",
+		sp(d.SCSpeed)+" (SC)", sp(d.SCSpeed)+" (SC)", sp(d.SCSpeed)+" (SC)",
+		"1.00xRC-ish ("+sp(d.OrderOnlySpeed)+")", sp(d.PicoLogSpeed))
+	t.AddRow("mem-ordering log (bits/proc/kinst)",
+		metrics.F(d.FDRLog), metrics.F(d.RTRLog), metrics.F(d.StrataLog),
+		metrics.F(d.OrderOnlyLog), metrics.F(d.PicoLogLog))
+	t.AddRow("replay speed", "not reported", "not reported", "not reported",
+		sp(d.OrderOnlyReplaySpeed), sp(d.PicoLogReplaySpeed))
+	t.AddRow("hardware needed", "cache hier", "cache hier", "very little",
+		"BulkSC/IT/TCC (mem hier)", "BulkSC/IT/TCC (mem hier)")
+	return t.Render()
+}
+
+// RenderTable5 renders the evaluated architecture configuration (paper
+// Table 5) for the given machine config.
+func RenderTable5(cfg sim.Config) string {
+	t := &metrics.Table{
+		Title: "Table 5: evaluated architecture configuration",
+		Cols:  []string{"parameter", "value"},
+	}
+	add := func(k, v string) { t.AddRow(k, v) }
+	add("processors", fmt.Sprint(cfg.NProcs))
+	add("issue width (sustained non-mem)", fmt.Sprint(cfg.IssueWidth))
+	add("ROB entries", fmt.Sprint(cfg.ROB))
+	add("store buffer entries", fmt.Sprint(cfg.StoreBuf))
+	add("L1 MSHRs", fmt.Sprint(cfg.MSHRs))
+	add("private L1", fmt.Sprintf("%dKB/%d-way/32B lines, %d-cycle round trip", cfg.L1Bytes/1024, cfg.L1Ways, cfg.L1Lat))
+	add("shared L2", fmt.Sprintf("%dMB/%d-way/32B lines, %d-cycle round trip", cfg.L2Bytes/(1024*1024), cfg.L2Ways, cfg.L2Lat))
+	add("memory round trip", fmt.Sprintf("%d cycles", cfg.MemLat))
+	add("signature", "2 Kbit (8 banks x 256 bits)")
+	add("commit arbitration round trip", fmt.Sprintf("%d cycles", cfg.ArbLat))
+	add("max concurrent commits", fmt.Sprint(cfg.MaxConcurCommits))
+	add("simultaneous chunks/processor", fmt.Sprint(cfg.SimulChunks))
+	add("standard chunk size", fmt.Sprintf("%d instructions", cfg.ChunkSize))
+	add("arbiters / directories", "1 / 1")
+	return t.Render()
+}
+
+// RTRReference re-exports the paper's RTR reference line for renderers.
+const RTRReference = baseline.RTRReferenceBitsPerKinst

@@ -1,0 +1,234 @@
+package isa
+
+import "fmt"
+
+// Asm builds a Program with symbolic labels. Branch and jump targets may
+// reference labels defined later; Assemble resolves them. Macro methods
+// (Lock, Unlock, Barrier, ...) emit the multi-instruction idioms the
+// workloads share.
+type Asm struct {
+	insts   []Inst
+	labels  map[string]int
+	patches []patch // instruction index -> label to resolve into Imm
+	trapVec string
+	intrVec string
+}
+
+type patch struct {
+	at    int
+	label string
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+// Label defines name at the current position. Defining the same label
+// twice panics: workload generators are trusted code and a duplicate label
+// is always a bug.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("isa: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.insts)
+}
+
+// Here returns the current instruction index.
+func (a *Asm) Here() int { return len(a.insts) }
+
+// SetTrapVec marks label as the trap handler entry.
+func (a *Asm) SetTrapVec(label string) { a.trapVec = label }
+
+// SetIntrVec marks label as the interrupt handler entry.
+func (a *Asm) SetIntrVec(label string) { a.intrVec = label }
+
+func (a *Asm) emit(i Inst) *Asm {
+	a.insts = append(a.insts, i)
+	return a
+}
+
+func (a *Asm) emitBranch(i Inst, label string) *Asm {
+	a.patches = append(a.patches, patch{at: len(a.insts), label: label})
+	return a.emit(i)
+}
+
+// --- plain instructions ---
+
+func (a *Asm) Nop() *Asm  { return a.emit(Inst{Op: NOP}) }
+func (a *Asm) Halt() *Asm { return a.emit(Inst{Op: HALT}) }
+
+func (a *Asm) Ldi(rd int, imm int64) *Asm {
+	return a.emit(Inst{Op: LDI, Rd: r(rd), Imm: imm})
+}
+func (a *Asm) Mov(rd, rs int) *Asm { return a.emit(Inst{Op: MOV, Rd: r(rd), Rs: r(rs)}) }
+
+func (a *Asm) Add(rd, rs, rt int) *Asm { return a.alu(ADD, rd, rs, rt) }
+func (a *Asm) Sub(rd, rs, rt int) *Asm { return a.alu(SUB, rd, rs, rt) }
+func (a *Asm) Mul(rd, rs, rt int) *Asm { return a.alu(MUL, rd, rs, rt) }
+func (a *Asm) And(rd, rs, rt int) *Asm { return a.alu(AND, rd, rs, rt) }
+func (a *Asm) Or(rd, rs, rt int) *Asm  { return a.alu(OR, rd, rs, rt) }
+func (a *Asm) Xor(rd, rs, rt int) *Asm { return a.alu(XOR, rd, rs, rt) }
+func (a *Asm) Shl(rd, rs, rt int) *Asm { return a.alu(SHL, rd, rs, rt) }
+func (a *Asm) Shr(rd, rs, rt int) *Asm { return a.alu(SHR, rd, rs, rt) }
+
+func (a *Asm) alu(op Op, rd, rs, rt int) *Asm {
+	return a.emit(Inst{Op: op, Rd: r(rd), Rs: r(rs), Rt: r(rt)})
+}
+
+func (a *Asm) Addi(rd, rs int, imm int64) *Asm {
+	return a.emit(Inst{Op: ADDI, Rd: r(rd), Rs: r(rs), Imm: imm})
+}
+func (a *Asm) Muli(rd, rs int, imm int64) *Asm {
+	return a.emit(Inst{Op: MULI, Rd: r(rd), Rs: r(rs), Imm: imm})
+}
+func (a *Asm) Andi(rd, rs int, imm int64) *Asm {
+	return a.emit(Inst{Op: ANDI, Rd: r(rd), Rs: r(rs), Imm: imm})
+}
+
+func (a *Asm) Ld(rd, rs int, imm int64) *Asm {
+	return a.emit(Inst{Op: LD, Rd: r(rd), Rs: r(rs), Imm: imm})
+}
+func (a *Asm) St(rs int, imm int64, rt int) *Asm {
+	return a.emit(Inst{Op: ST, Rs: r(rs), Rt: r(rt), Imm: imm})
+}
+func (a *Asm) Swap(rd, rs, rt int) *Asm {
+	return a.emit(Inst{Op: SWAP, Rd: r(rd), Rs: r(rs), Rt: r(rt)})
+}
+func (a *Asm) Fadd(rd, rs, rt int) *Asm {
+	return a.emit(Inst{Op: FADD, Rd: r(rd), Rs: r(rs), Rt: r(rt)})
+}
+func (a *Asm) Cas(rd, rs, rt int, newVal int64) *Asm {
+	return a.emit(Inst{Op: CAS, Rd: r(rd), Rs: r(rs), Rt: r(rt), Imm: newVal})
+}
+
+func (a *Asm) Jmp(label string) *Asm { return a.emitBranch(Inst{Op: JMP}, label) }
+func (a *Asm) Jal(rd int, label string) *Asm {
+	return a.emitBranch(Inst{Op: JAL, Rd: r(rd)}, label)
+}
+func (a *Asm) Jr(rs int) *Asm { return a.emit(Inst{Op: JR, Rs: r(rs)}) }
+
+func (a *Asm) Beq(rs, rt int, label string) *Asm { return a.br(BEQ, rs, rt, label) }
+func (a *Asm) Bne(rs, rt int, label string) *Asm { return a.br(BNE, rs, rt, label) }
+func (a *Asm) Blt(rs, rt int, label string) *Asm { return a.br(BLT, rs, rt, label) }
+func (a *Asm) Bge(rs, rt int, label string) *Asm { return a.br(BGE, rs, rt, label) }
+
+func (a *Asm) br(op Op, rs, rt int, label string) *Asm {
+	return a.emitBranch(Inst{Op: op, Rs: r(rs), Rt: r(rt)}, label)
+}
+
+func (a *Asm) Fence() *Asm { return a.emit(Inst{Op: FENCE}) }
+func (a *Asm) Iord(rd int, port int64) *Asm {
+	return a.emit(Inst{Op: IORD, Rd: r(rd), Imm: port})
+}
+func (a *Asm) Iowr(port int64, rs int) *Asm {
+	return a.emit(Inst{Op: IOWR, Rs: r(rs), Imm: port})
+}
+func (a *Asm) Trapnz(rs int) *Asm { return a.emit(Inst{Op: TRAPNZ, Rs: r(rs)}) }
+func (a *Asm) Iret() *Asm         { return a.emit(Inst{Op: IRET}) }
+
+func r(i int) uint8 {
+	if i < 0 || i >= NumRegs {
+		panic(fmt.Sprintf("isa: register r%d out of range", i))
+	}
+	return uint8(i)
+}
+
+// --- macros ---
+
+// Work emits n dependent ALU instructions clobbering scratch; it models a
+// stretch of private computation between memory accesses.
+func (a *Asm) Work(n int, scratch int) *Asm {
+	for i := 0; i < n; i++ {
+		a.Addi(scratch, scratch, int64(i+1))
+	}
+	return a
+}
+
+// Lock emits a test-and-test-and-set spinlock acquire on the lock word
+// whose address is in raddr. tmp is clobbered. The suffix makes labels
+// unique.
+//
+// TTAS (spin on a plain load, SWAP only when the lock reads free) matters
+// beyond cache politeness here: under lazy chunked execution a plain
+// test-and-set spin would *write* the lock line on every attempt, and a
+// spinner's committed write can clobber the logical owner's un-committed
+// acquisition, livelocking the system. With TTAS, spinning chunks are
+// read-only on the lock line and the paper's commit/squash protocol
+// resolves acquisition races correctly.
+func (a *Asm) Lock(raddr, tmp int, suffix string) *Asm {
+	l := "lock_" + suffix
+	a.Label(l)
+	a.Ld(tmp, raddr, 0)
+	a.Bne(tmp, regZeroScratch, l) // relies on r10 holding 0; see LockInit
+	a.Ldi(tmp, 1)
+	a.Swap(tmp, raddr, tmp)
+	a.Bne(tmp, regZeroScratch, l) // lost the race: back to testing
+	return a
+}
+
+// regZeroScratch is the register conventionally holding the constant 0
+// for macro comparisons (set by LockInit or by the workload prologue).
+const regZeroScratch = 10
+
+// LockInit emits the one-time setup the macros rely on: r10 <- 0.
+func (a *Asm) LockInit() *Asm { return a.Ldi(regZeroScratch, 0) }
+
+// Unlock releases the lock at the address in raddr.
+func (a *Asm) Unlock(raddr int) *Asm {
+	return a.St(raddr, 0, regZeroScratch)
+}
+
+// Barrier emits a centralized sense-reversing barrier. rbase holds the
+// address of a 2-word barrier structure (word 0: arrival count, word 1:
+// generation), rn holds the participant count. tmp1..tmp3 are clobbered.
+// The suffix makes labels unique.
+func (a *Asm) Barrier(rbase, rn, tmp1, tmp2, tmp3 int, suffix string) *Asm {
+	wait := "barwait_" + suffix
+	done := "bardone_" + suffix
+	// tmp3 <- current generation
+	a.Ld(tmp3, rbase, 1)
+	// tmp1 <- fetch-add(count, 1)
+	a.Ldi(tmp1, 1)
+	a.Fadd(tmp1, rbase, tmp1)
+	// if tmp1 == n-1 we are last: reset count, bump generation
+	a.Addi(tmp2, rn, -1)
+	a.Bne(tmp1, tmp2, wait)
+	a.St(rbase, 0, regZeroScratch) // count <- 0
+	a.Addi(tmp3, tmp3, 1)
+	a.St(rbase, 1, tmp3) // generation++
+	a.Jmp(done)
+	a.Label(wait)
+	a.Ld(tmp1, rbase, 1)
+	a.Beq(tmp1, tmp3, wait) // spin until generation changes
+	a.Label(done)
+	return a
+}
+
+// Assemble resolves labels and returns the program. It panics on
+// undefined labels (again: generator bugs, not runtime conditions).
+func (a *Asm) Assemble() *Program {
+	for _, p := range a.patches {
+		target, ok := a.labels[p.label]
+		if !ok {
+			panic(fmt.Sprintf("isa: undefined label %q", p.label))
+		}
+		a.insts[p.at].Imm = int64(target)
+	}
+	prog := &Program{Insts: a.insts, TrapVec: -1, IntrVec: -1}
+	if a.trapVec != "" {
+		v, ok := a.labels[a.trapVec]
+		if !ok {
+			panic(fmt.Sprintf("isa: undefined trap vector %q", a.trapVec))
+		}
+		prog.TrapVec = v
+	}
+	if a.intrVec != "" {
+		v, ok := a.labels[a.intrVec]
+		if !ok {
+			panic(fmt.Sprintf("isa: undefined interrupt vector %q", a.intrVec))
+		}
+		prog.IntrVec = v
+	}
+	return prog
+}

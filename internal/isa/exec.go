@@ -1,0 +1,213 @@
+package isa
+
+import "fmt"
+
+// RunToMemOp executes instructions starting at st.PC until it reaches one
+// that requires external interaction — a cached memory access, an uncached
+// I/O access, a FENCE, or HALT — or until limit instructions have
+// executed. ALU, control flow, TRAPNZ and IRET are handled internally.
+//
+// It returns the number of instructions executed and the pending
+// instruction, if any. The pending instruction has NOT been executed;
+// st.PC still addresses it. The caller performs its memory/I-O semantics
+// (see MemAddr, NewValue, Complete) with whatever buffering and timing the
+// machine model requires, which is how the same interpreter serves the
+// SC, RC and chunked engines.
+//
+// A nil pending with n == limit means the budget ran out mid-computation;
+// a nil pending with st.Halted means the thread hit HALT previously.
+func RunToMemOp(st *ThreadState, p *Program, limit int) (n int, pending *Inst) {
+	return RunToMemOpTimed(st, p, limit, nil)
+}
+
+// RunToMemOpTimed is RunToMemOp with register-readiness propagation: if
+// ready is non-nil, ready[r] holds the cycle at which register r's value
+// becomes available, and ALU instructions propagate the maximum of their
+// sources to their destination. This lets the timing model see
+// load→ALU→address dependence chains: a memory op whose address was
+// computed from a pending load's result stalls until that load completes.
+// Immediate-producing instructions (LDI, JAL, TRAPNZ's link) mark their
+// destination ready immediately.
+func RunToMemOpTimed(st *ThreadState, p *Program, limit int, ready *[NumRegs]uint64) (n int, pending *Inst) {
+	if st.Halted {
+		return 0, nil
+	}
+	if ready == nil {
+		var dummy [NumRegs]uint64
+		ready = &dummy
+	}
+	insts := p.Insts
+	for n < limit {
+		if st.PC < 0 || st.PC >= len(insts) {
+			panic(fmt.Sprintf("isa: PC %d out of program bounds [0,%d)", st.PC, len(insts)))
+		}
+		i := &insts[st.PC]
+		switch i.Op {
+		case NOP:
+			st.PC++
+		case LDI:
+			st.Reg[i.Rd] = i.Imm
+			ready[i.Rd] = 0
+			st.PC++
+		case MOV:
+			st.Reg[i.Rd] = st.Reg[i.Rs]
+			ready[i.Rd] = ready[i.Rs]
+			st.PC++
+		case ADD:
+			st.Reg[i.Rd] = st.Reg[i.Rs] + st.Reg[i.Rt]
+			ready[i.Rd] = maxReady(ready[i.Rs], ready[i.Rt])
+			st.PC++
+		case SUB:
+			st.Reg[i.Rd] = st.Reg[i.Rs] - st.Reg[i.Rt]
+			ready[i.Rd] = maxReady(ready[i.Rs], ready[i.Rt])
+			st.PC++
+		case MUL:
+			st.Reg[i.Rd] = st.Reg[i.Rs] * st.Reg[i.Rt]
+			ready[i.Rd] = maxReady(ready[i.Rs], ready[i.Rt])
+			st.PC++
+		case AND:
+			st.Reg[i.Rd] = st.Reg[i.Rs] & st.Reg[i.Rt]
+			ready[i.Rd] = maxReady(ready[i.Rs], ready[i.Rt])
+			st.PC++
+		case OR:
+			st.Reg[i.Rd] = st.Reg[i.Rs] | st.Reg[i.Rt]
+			ready[i.Rd] = maxReady(ready[i.Rs], ready[i.Rt])
+			st.PC++
+		case XOR:
+			st.Reg[i.Rd] = st.Reg[i.Rs] ^ st.Reg[i.Rt]
+			ready[i.Rd] = maxReady(ready[i.Rs], ready[i.Rt])
+			st.PC++
+		case SHL:
+			st.Reg[i.Rd] = st.Reg[i.Rs] << uint(st.Reg[i.Rt]&63)
+			ready[i.Rd] = maxReady(ready[i.Rs], ready[i.Rt])
+			st.PC++
+		case SHR:
+			st.Reg[i.Rd] = int64(uint64(st.Reg[i.Rs]) >> uint(st.Reg[i.Rt]&63))
+			ready[i.Rd] = maxReady(ready[i.Rs], ready[i.Rt])
+			st.PC++
+		case ADDI:
+			st.Reg[i.Rd] = st.Reg[i.Rs] + i.Imm
+			ready[i.Rd] = ready[i.Rs]
+			st.PC++
+		case MULI:
+			st.Reg[i.Rd] = st.Reg[i.Rs] * i.Imm
+			ready[i.Rd] = ready[i.Rs]
+			st.PC++
+		case ANDI:
+			st.Reg[i.Rd] = st.Reg[i.Rs] & i.Imm
+			ready[i.Rd] = ready[i.Rs]
+			st.PC++
+		case JMP:
+			st.PC = int(i.Imm)
+		case JAL:
+			st.Reg[i.Rd] = int64(st.PC + 1)
+			ready[i.Rd] = 0
+			st.PC = int(i.Imm)
+		case JR:
+			st.PC = int(st.Reg[i.Rs])
+		case BEQ:
+			if st.Reg[i.Rs] == st.Reg[i.Rt] {
+				st.PC = int(i.Imm)
+			} else {
+				st.PC++
+			}
+		case BNE:
+			if st.Reg[i.Rs] != st.Reg[i.Rt] {
+				st.PC = int(i.Imm)
+			} else {
+				st.PC++
+			}
+		case BLT:
+			if st.Reg[i.Rs] < st.Reg[i.Rt] {
+				st.PC = int(i.Imm)
+			} else {
+				st.PC++
+			}
+		case BGE:
+			if st.Reg[i.Rs] >= st.Reg[i.Rt] {
+				st.PC = int(i.Imm)
+			} else {
+				st.PC++
+			}
+		case TRAPNZ:
+			// Synchronous trap: deterministic control transfer, does not
+			// truncate chunks (paper §4.2.1).
+			if st.Reg[i.Rs] != 0 {
+				if p.TrapVec < 0 {
+					panic("isa: TRAPNZ taken with no trap vector")
+				}
+				st.Reg[12] = int64(st.PC + 1)
+				ready[12] = 0
+				st.PC = p.TrapVec
+			} else {
+				st.PC++
+			}
+		case IRET:
+			st.ReturnFromInterrupt()
+		case HALT, FENCE, LD, ST, SWAP, FADD, CAS, IORD, IOWR:
+			return n, i
+		default:
+			panic(fmt.Sprintf("isa: unknown opcode %v at PC %d", i.Op, st.PC))
+		}
+		n++
+	}
+	return n, nil
+}
+
+// MemAddr returns the word address accessed by a memory instruction,
+// resolved against the thread's registers.
+func (i *Inst) MemAddr(st *ThreadState) uint32 {
+	switch i.Op {
+	case LD, ST:
+		return uint32(st.Reg[i.Rs] + i.Imm)
+	case SWAP, FADD, CAS:
+		return uint32(st.Reg[i.Rs])
+	}
+	panic(fmt.Sprintf("isa: MemAddr on non-memory op %v", i.Op))
+}
+
+// NewValue returns the value a store-class instruction writes, given the
+// old memory value (ignored for plain ST). For a failed CAS the returned
+// value equals old, making the write a functional no-op while the line is
+// still treated as written for coherence and conflict purposes.
+func (i *Inst) NewValue(st *ThreadState, old uint64) uint64 {
+	switch i.Op {
+	case ST:
+		return uint64(st.Reg[i.Rt])
+	case SWAP:
+		return uint64(st.Reg[i.Rt])
+	case FADD:
+		return old + uint64(st.Reg[i.Rt])
+	case CAS:
+		if int64(old) == st.Reg[i.Rt] {
+			return uint64(i.Imm)
+		}
+		return old
+	}
+	panic(fmt.Sprintf("isa: NewValue on non-store op %v", i.Op))
+}
+
+// Complete retires a pending memory or I/O instruction: it writes the
+// destination register (loaded carries the old memory value for loads and
+// atomics, the port value for IORD) and advances the PC.
+func (i *Inst) Complete(st *ThreadState, loaded uint64) {
+	switch i.Op {
+	case LD, SWAP, FADD, CAS, IORD:
+		st.Reg[i.Rd] = int64(loaded)
+	case ST, IOWR:
+		// no register result
+	default:
+		panic(fmt.Sprintf("isa: Complete on op %v", i.Op))
+	}
+	st.PC++
+}
+
+// LineOf maps a word address to its cache line address (line index).
+func LineOf(addr uint32) uint32 { return addr / LineWords }
+
+func maxReady(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

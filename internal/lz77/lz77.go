@@ -1,0 +1,180 @@
+// Package lz77 implements the LZ77 compression algorithm used to model
+// DeLorean's hardware log compressors.
+//
+// The paper states "all log buffers are enhanced with compression hardware
+// that uses the LZ77 algorithm" (§5). This package provides a faithful
+// software LZ77: a sliding window, greedy longest-match search accelerated
+// by a chained hash table, and a compact token encoding. It reports
+// compressed sizes in bits so the experiment harnesses can express log
+// sizes in bits/processor/kilo-instruction, as the paper does.
+//
+// Token format (bit-packed, LSB-first):
+//
+//	literal: 0 followed by 8 bits of data
+//	match:   1 followed by windowBits bits of distance-1
+//	           and lenBits bits of length-minLen
+//
+// Matches shorter than minLen are emitted as literals.
+package lz77
+
+import (
+	"errors"
+
+	"delorean/internal/bitio"
+)
+
+const (
+	windowBits = 15 // 32 KiB window, mirroring a small hardware buffer
+	lenBits    = 8
+	minLen     = 3
+	maxLen     = minLen + (1 << lenBits) - 1
+	windowSize = 1 << windowBits
+
+	hashBits = 14
+	hashSize = 1 << hashBits
+)
+
+func hash3(p []byte) uint32 {
+	v := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16
+	return (v * 0x9e3779b1) >> (32 - hashBits)
+}
+
+// Compress returns the LZ77 token stream for src and its length in bits.
+// The bit length, not the padded byte length, is the honest measure of a
+// hardware log buffer's occupancy.
+func Compress(src []byte) (packed []byte, bits int) {
+	var w bitio.Writer
+	// head[h] is the most recent position with hash h; prev chains older
+	// positions within the window.
+	head := make([]int32, hashSize)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+
+	emitLiteral := func(b byte) {
+		w.WriteBits(0, 1)
+		w.WriteBits(uint64(b), 8)
+	}
+	emitMatch := func(dist, length int) {
+		w.WriteBits(1, 1)
+		w.WriteBits(uint64(dist-1), windowBits)
+		w.WriteBits(uint64(length-minLen), lenBits)
+	}
+
+	insert := func(i int) {
+		if i+minLen > len(src) {
+			return
+		}
+		h := hash3(src[i:])
+		prev[i] = head[h]
+		head[h] = int32(i)
+	}
+
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+minLen <= len(src) {
+			h := hash3(src[i:])
+			limit := i - windowSize
+			const maxChain = 64
+			for cand, chain := head[h], 0; cand >= 0 && int(cand) > limit && chain < maxChain; cand, chain = prev[cand], chain+1 {
+				c := int(cand)
+				n := matchLen(src[c:], src[i:])
+				if n > bestLen {
+					bestLen, bestDist = n, i-c
+					if n >= maxLen {
+						bestLen = maxLen
+						break
+					}
+				}
+			}
+		}
+		if bestLen >= minLen {
+			emitMatch(bestDist, bestLen)
+			end := i + bestLen
+			for ; i < end; i++ {
+				insert(i)
+			}
+		} else {
+			emitLiteral(src[i])
+			insert(i)
+			i++
+		}
+	}
+	return w.Bytes(), w.Len()
+}
+
+func matchLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n > maxLen {
+		n = maxLen
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// ErrCorrupt reports a malformed token stream.
+var ErrCorrupt = errors.New("lz77: corrupt stream")
+
+// Decompress reverses Compress. bits is the bit length returned by
+// Compress.
+func Decompress(packed []byte, bits int) ([]byte, error) {
+	r := bitio.NewReader(packed, bits)
+	var out []byte
+	for r.Remaining() >= 9 {
+		isMatch, err := r.ReadBool()
+		if err != nil {
+			return nil, err
+		}
+		if !isMatch {
+			b, err := r.ReadBits(8)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(b))
+			continue
+		}
+		d, err := r.ReadBits(windowBits)
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.ReadBits(lenBits)
+		if err != nil {
+			return nil, err
+		}
+		dist, length := int(d)+1, int(l)+minLen
+		if dist > len(out) {
+			return nil, ErrCorrupt
+		}
+		// Byte-at-a-time copy: matches may overlap their own output.
+		start := len(out) - dist
+		for k := 0; k < length; k++ {
+			out = append(out, out[start+k])
+		}
+	}
+	return out, nil
+}
+
+// CompressedBits returns only the compressed size in bits, without
+// retaining the token stream. Convenience for log-size accounting.
+func CompressedBits(src []byte) int {
+	_, bits := Compress(src)
+	return bits
+}
+
+// Ratio returns compressed bits divided by uncompressed bits, or 1 for an
+// empty input.
+func Ratio(src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	return float64(CompressedBits(src)) / float64(8*len(src))
+}

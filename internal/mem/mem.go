@@ -1,0 +1,82 @@
+// Package mem provides the word-addressed functional memory shared by all
+// machine models, plus snapshot/restore used as the system checkpoint that
+// recording intervals start from (the paper assumes ReVive/SafetyNet-style
+// checkpointing and declares its details out of scope).
+package mem
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"delorean/internal/isa"
+)
+
+// Memory is a sparse 64-bit word-addressed memory. Unwritten words read
+// as zero. It is purely functional: timing lives in the cache and core
+// models.
+type Memory struct {
+	words map[uint32]uint64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{words: make(map[uint32]uint64)}
+}
+
+// Load returns the word at addr.
+func (m *Memory) Load(addr uint32) uint64 { return m.words[addr] }
+
+// Store writes the word at addr. Storing zero still materializes the
+// entry; Hash and Snapshot must not distinguish "never written" from
+// "written zero", so both are canonicalized (see Hash).
+func (m *Memory) Store(addr uint32, v uint64) {
+	if v == 0 {
+		delete(m.words, addr)
+		return
+	}
+	m.words[addr] = v
+}
+
+// Len reports the number of nonzero words.
+func (m *Memory) Len() int { return len(m.words) }
+
+// Snapshot captures the full memory contents. The snapshot is independent
+// of future mutations.
+func (m *Memory) Snapshot() map[uint32]uint64 {
+	s := make(map[uint32]uint64, len(m.words))
+	for a, v := range m.words {
+		s[a] = v
+	}
+	return s
+}
+
+// Restore replaces the memory contents with a snapshot taken earlier.
+func (m *Memory) Restore(s map[uint32]uint64) {
+	m.words = make(map[uint32]uint64, len(s))
+	for a, v := range s {
+		m.words[a] = v
+	}
+}
+
+// Hash returns a canonical FNV-1a hash over the nonzero words in address
+// order. Two memories with identical architectural contents hash equally
+// regardless of write history.
+func (m *Memory) Hash() uint64 {
+	addrs := make([]uint32, 0, len(m.words))
+	for a := range m.words {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := fnv.New64a()
+	var buf [12]byte
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint32(buf[0:4], a)
+		binary.LittleEndian.PutUint64(buf[4:12], m.words[a])
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// LineOf re-exports the global line mapping for convenience.
+func LineOf(addr uint32) uint32 { return isa.LineOf(addr) }

@@ -1,0 +1,98 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delorean/internal/rng"
+)
+
+func TestZeroDefault(t *testing.T) {
+	m := New()
+	if m.Load(12345) != 0 {
+		t.Fatal("unwritten word not zero")
+	}
+}
+
+func TestStoreLoad(t *testing.T) {
+	m := New()
+	m.Store(7, 42)
+	if m.Load(7) != 42 {
+		t.Fatalf("Load = %d, want 42", m.Load(7))
+	}
+	m.Store(7, 0)
+	if m.Load(7) != 0 {
+		t.Fatal("overwrite with zero failed")
+	}
+	if m.Len() != 0 {
+		t.Fatal("zero store left a materialized entry")
+	}
+}
+
+func TestHashIgnoresWriteHistory(t *testing.T) {
+	a, b := New(), New()
+	a.Store(1, 10)
+	a.Store(2, 20)
+	a.Store(3, 5)
+	a.Store(3, 0) // back to zero
+
+	b.Store(2, 20)
+	b.Store(1, 10)
+	if a.Hash() != b.Hash() {
+		t.Fatal("hashes differ for identical contents")
+	}
+}
+
+func TestHashDetectsDifference(t *testing.T) {
+	a, b := New(), New()
+	a.Store(1, 10)
+	b.Store(1, 11)
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash collision on differing contents")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New()
+	m.Store(1, 100)
+	m.Store(2, 200)
+	snap := m.Snapshot()
+	m.Store(1, 999)
+	m.Store(3, 300)
+	m.Restore(snap)
+	if m.Load(1) != 100 || m.Load(2) != 200 || m.Load(3) != 0 {
+		t.Fatalf("restore failed: %d %d %d", m.Load(1), m.Load(2), m.Load(3))
+	}
+}
+
+func TestSnapshotIsIndependent(t *testing.T) {
+	m := New()
+	m.Store(5, 50)
+	snap := m.Snapshot()
+	m.Store(5, 51)
+	if snap[5] != 50 {
+		t.Fatal("snapshot mutated by later store")
+	}
+}
+
+// Property: restore(snapshot(m)) preserves Hash under arbitrary
+// interleaved mutation.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		m := New()
+		for i := 0; i < 200; i++ {
+			m.Store(uint32(s.Intn(64)), s.Uint64()%5)
+		}
+		want := m.Hash()
+		snap := m.Snapshot()
+		for i := 0; i < 200; i++ {
+			m.Store(uint32(s.Intn(64)), s.Uint64())
+		}
+		m.Restore(snap)
+		return m.Hash() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

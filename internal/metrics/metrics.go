@@ -1,0 +1,115 @@
+// Package metrics provides the small statistics and table-rendering
+// helpers the experiment harnesses share.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values
+// (a zero would otherwise collapse the mean; the harnesses use ratios
+// that are positive by construction).
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table is a rendered-aligned text table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowF appends a row formatting each value with the given verbs.
+func (t *Table) AddRowF(format string, vals ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, vals...), "|")...)
+}
+
+// Render returns the aligned table text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.4f", v)
+	case math.Abs(v) < 1:
+		return fmt.Sprintf("%.3f", v)
+	case math.Abs(v) < 100:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMeanBasics(t *testing.T) {
+	if g := GeoMean([]float64{4, 1}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean(4,1) = %g", g)
+	}
+	if g := GeoMean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean(2,2,2) = %g", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %g", g)
+	}
+	if g := GeoMean([]float64{0, -1}); g != 0 {
+		t.Fatalf("GeoMean(nonpositive) = %g", g)
+	}
+}
+
+func TestGeoMeanIgnoresNonPositive(t *testing.T) {
+	if g := GeoMean([]float64{4, 0, 1}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("got %g, want 2", g)
+	}
+}
+
+// Property: the geometric mean lies between min and max of positive
+// inputs.
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r%1000)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %g", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %g", m)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Cols: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Alignment: the header and rows should have "value" column aligned.
+	if strings.Index(lines[1], "value") != strings.Index(lines[3], "1")+0 && !strings.Contains(lines[3], "1") {
+		t.Fatalf("alignment broken:\n%s", out)
+	}
+}
+
+func TestAddRowF(t *testing.T) {
+	tb := &Table{Cols: []string{"a", "b"}}
+	tb.AddRowF("%s|%d", "x", 7)
+	if tb.Rows[0][0] != "x" || tb.Rows[0][1] != "7" {
+		t.Fatalf("AddRowF rows = %v", tb.Rows)
+	}
+}
+
+func TestFFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.005:  "0.0050",
+		0.5:    "0.500",
+		3.14:   "3.14",
+		1234.5: "1234",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator (SplitMix64) used throughout the simulator.
+//
+// Determinism matters here more than statistical sophistication: workload
+// generation, device timing, and replay perturbation must all be exactly
+// reproducible from a seed so that experiments and tests are repeatable.
+// math/rand would work, but a self-contained generator keeps the seeding
+// discipline explicit and allows cheap forking of independent streams.
+package rng
+
+// Source is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New for clarity.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Fork derives an independent generator from this one. The child's stream
+// does not overlap the parent's continued stream for any practical length.
+func (s *Source) Fork() *Source {
+	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value uniformly distributed in [0, n). It panics if
+// n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Range returns a value uniformly distributed in [lo, hi]. It panics if
+// hi < lo.
+func (s *Source) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// Perm fills a permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,143 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Fork()
+	// Continuing the parent must not replicate the child's stream.
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			t.Fatalf("parent and child emitted equal value at step %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRangeBounds(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.Range(5, 10)
+		if v < 5 || v > 10 {
+			t.Fatalf("Range(5,10) = %d out of range", v)
+		}
+	}
+	if got := s.Range(4, 4); got != 4 {
+		t.Fatalf("Range(4,4) = %d, want 4", got)
+	}
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1.1) {
+			t.Fatal("Bool(>1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	s := New(17)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %g, want ~0.3", frac)
+	}
+}
+
+// Property: Perm always yields a valid permutation.
+func TestQuickPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	s := New(21)
+	buckets := make([]int, 16)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[s.Uint64()&15]++
+	}
+	for i, c := range buckets {
+		if c < n/16-n/100 || c > n/16+n/100 {
+			t.Fatalf("bucket %d count %d deviates from uniform", i, c)
+		}
+	}
+}

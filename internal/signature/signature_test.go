@@ -1,0 +1,201 @@
+package signature
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delorean/internal/rng"
+)
+
+func TestEmptySignature(t *testing.T) {
+	var s Sig
+	if !s.Empty() {
+		t.Fatal("zero value not empty")
+	}
+	if s.MayContain(5) {
+		t.Fatal("empty signature claims membership")
+	}
+	if s.PopCount() != 0 {
+		t.Fatal("empty signature has set bits")
+	}
+}
+
+func TestInsertMembership(t *testing.T) {
+	var s Sig
+	for line := uint32(0); line < 100; line++ {
+		s.Insert(line)
+	}
+	for line := uint32(0); line < 100; line++ {
+		if !s.MayContain(line) {
+			t.Fatalf("false negative for line %d", line)
+		}
+	}
+}
+
+// Property: no false negatives — the safety invariant that makes
+// signature-based conflict detection conservative.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(lines []uint32) bool {
+		var s Sig
+		for _, l := range lines {
+			s.Insert(l)
+		}
+		for _, l := range lines {
+			if !s.MayContain(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: if two signatures share a genuinely inserted line they must
+// intersect (conservative conflict detection never misses a true
+// conflict).
+func TestQuickTrueConflictAlwaysDetected(t *testing.T) {
+	f := func(a, b []uint32, shared uint32) bool {
+		var sa, sb Sig
+		for _, l := range a {
+			sa.Insert(l)
+		}
+		for _, l := range b {
+			sb.Insert(l)
+		}
+		sa.Insert(shared)
+		sb.Insert(shared)
+		return sa.Intersects(&sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointSmallSetsRarelyIntersect(t *testing.T) {
+	// With a handful of lines in each signature, disjoint sets should
+	// essentially never intersect; a high rate would indicate broken
+	// hashing.
+	s := rng.New(99)
+	collisions := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		var sa, sb Sig
+		for i := 0; i < 8; i++ {
+			sa.Insert(uint32(s.Intn(1 << 20)))
+			sb.Insert(uint32(1<<20 + s.Intn(1<<20)))
+		}
+		if sa.Intersects(&sb) {
+			collisions++
+		}
+	}
+	if collisions > trials/10 {
+		t.Fatalf("%d/%d spurious intersections for 8-line disjoint sets", collisions, trials)
+	}
+}
+
+func TestFalsePositiveRateGrowsButBounded(t *testing.T) {
+	// Insert 64 lines (a large chunk's working set); the false-positive
+	// rate on membership probes should stay small for a 2Kbit/4-hash
+	// filter (theoretical ~ (64*4/2048)^4 ≈ 0.00024).
+	s := rng.New(7)
+	var sig Sig
+	inserted := map[uint32]bool{}
+	for len(inserted) < 64 {
+		l := uint32(s.Intn(1 << 24))
+		inserted[l] = true
+		sig.Insert(l)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		l := uint32(1<<24 + s.Intn(1<<24))
+		if sig.MayContain(l) {
+			fp++
+		}
+	}
+	if fp > probes/100 {
+		t.Fatalf("false positive rate %d/%d too high", fp, probes)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	var a, b Sig
+	a.Insert(1)
+	b.Insert(2)
+	bPop := b.PopCount()
+	a.Union(&b)
+	if !a.MayContain(1) || !a.MayContain(2) {
+		t.Fatal("union lost members")
+	}
+	if b.PopCount() != bPop {
+		t.Fatal("union mutated operand")
+	}
+}
+
+func TestSpatiallySeparatedRegionsDontConflict(t *testing.T) {
+	// Two contiguous working sets in different 512-line-aligned regions
+	// (the layout discipline the workloads follow) must never conflict:
+	// bank 1 (address bits 9..17) keeps them disjoint.
+	var a, b Sig
+	for i := uint32(0); i < 200; i++ {
+		a.Insert(0x0000 + i) // region at line 0
+		b.Insert(0x4000 + i) // region at line 16384
+	}
+	if a.Intersects(&b) {
+		t.Fatal("spatially separated dense regions conflict")
+	}
+	for i := uint32(0); i < 200; i++ {
+		if !a.MayContain(0x0000+i) || !b.MayContain(0x4000+i) {
+			t.Fatal("false negative in dense region")
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	var s Sig
+	s.Insert(42)
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left bits set")
+	}
+}
+
+func TestSigIsValueType(t *testing.T) {
+	var a Sig
+	a.Insert(1)
+	b := a // copy
+	b.Insert(2)
+	if a.MayContain(2) && a.PopCount() == b.PopCount() {
+		t.Fatal("copy aliases original")
+	}
+}
+
+func TestIntersectsSymmetric(t *testing.T) {
+	var a, b Sig
+	a.Insert(10)
+	b.Insert(10)
+	if !a.Intersects(&b) || !b.Intersects(&a) {
+		t.Fatal("Intersects not symmetric on equal members")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var s Sig
+	for i := 0; i < b.N; i++ {
+		s.Insert(uint32(i))
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	var x, y Sig
+	for i := 0; i < 32; i++ {
+		x.Insert(uint32(i))
+		y.Insert(uint32(i + 1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersects(&y)
+	}
+}

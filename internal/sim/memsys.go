@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"delorean/internal/cache"
+)
+
+// MemSys is the timing side of the memory hierarchy: per-processor L1
+// tag arrays, a shared inclusive L2, and a directory tracking sharers and
+// the exclusive owner of each line. Functional values live elsewhere
+// (internal/mem); MemSys answers "how long does this access take" and
+// keeps coherence state so that cross-processor sharing produces the
+// misses and upgrades that make SC/RC/chunked timing differ.
+type MemSys struct {
+	cfg *Config
+	l1  []*cache.Cache
+	l2  *cache.Cache
+
+	// Directory state per line. sharers is a bitmask of processors whose
+	// L1 may hold the line; owner is the processor holding it exclusively
+	// (-1 if none). Entries vanish when no L1 holds the line.
+	sharers map[uint32]uint32
+	owner   map[uint32]int8
+
+	// Counters.
+	L1Hits, L2Hits, MemAccesses, C2CTransfers, Upgrades uint64
+}
+
+// NewMemSys builds the hierarchy for cfg.
+func NewMemSys(cfg *Config) *MemSys {
+	ms := &MemSys{
+		cfg:     cfg,
+		l2:      cache.New(cfg.L2Bytes, cfg.L2Ways),
+		sharers: make(map[uint32]uint32),
+		owner:   make(map[uint32]int8),
+	}
+	for i := 0; i < cfg.NProcs; i++ {
+		ms.l1 = append(ms.l1, cache.New(cfg.L1Bytes, cfg.L1Ways))
+	}
+	return ms
+}
+
+// L1 exposes processor p's L1 geometry (the chunk engine needs SetOf/Ways
+// for overflow accounting).
+func (ms *MemSys) L1(p int) *cache.Cache { return ms.l1[p] }
+
+func (ms *MemSys) addSharer(line uint32, p int) {
+	ms.sharers[line] |= 1 << uint(p)
+}
+
+func (ms *MemSys) dropSharer(line uint32, p int) {
+	s := ms.sharers[line] &^ (1 << uint(p))
+	if s == 0 {
+		delete(ms.sharers, line)
+	} else {
+		ms.sharers[line] = s
+	}
+	if o, ok := ms.owner[line]; ok && int(o) == p {
+		delete(ms.owner, line)
+	}
+}
+
+func (ms *MemSys) installL1(p int, line uint32) {
+	if evicted, did := ms.l1[p].Install(line); did {
+		ms.dropSharer(evicted, p)
+	}
+	ms.addSharer(line, p)
+}
+
+// Load returns the round-trip latency of a load by processor p to line,
+// updating cache and directory state.
+func (ms *MemSys) Load(p int, line uint32) uint64 {
+	if ms.l1[p].Access(line) {
+		ms.L1Hits++
+		return ms.cfg.L1Lat
+	}
+	// L1 miss. If another processor owns the line dirty, it is forwarded
+	// cache-to-cache through the directory and downgraded to shared.
+	if o, ok := ms.owner[line]; ok && int(o) != p {
+		delete(ms.owner, line)
+		ms.C2CTransfers++
+		ms.l2.Install(line)
+		ms.installL1(p, line)
+		return ms.cfg.L2Lat
+	}
+	if ms.l2.Access(line) {
+		ms.L2Hits++
+		ms.installL1(p, line)
+		return ms.cfg.L2Lat
+	}
+	ms.MemAccesses++
+	ms.installL2(line)
+	ms.installL1(p, line)
+	return ms.cfg.MemLat
+}
+
+// Store returns the latency for processor p to obtain line exclusively
+// and invalidates all other sharers (a committing write or an SC/RC
+// store).
+func (ms *MemSys) Store(p int, line uint32) uint64 {
+	lat := ms.exclusiveLat(p, line)
+	ms.invalidateOthers(p, line)
+	ms.owner[line] = int8(p)
+	ms.installL1(p, line)
+	return lat
+}
+
+// SpecStore returns the latency for processor p to prefetch line for a
+// speculative (chunk) store. The line is brought into p's L1 but other
+// copies are NOT invalidated: BulkSC makes speculative updates visible
+// only at commit.
+func (ms *MemSys) SpecStore(p int, line uint32) uint64 {
+	lat := ms.exclusiveLat(p, line)
+	ms.installL1(p, line)
+	return lat
+}
+
+// CommitLine makes processor p's speculative write to line globally
+// visible: all other sharers are invalidated and p becomes owner. The
+// latency is folded into the commit operation, not charged per line.
+func (ms *MemSys) CommitLine(p int, line uint32) {
+	ms.invalidateOthers(p, line)
+	ms.owner[line] = int8(p)
+	ms.l2.Install(line)
+	ms.installL1(p, line)
+}
+
+// DMAWrite models a device write: every cached copy is invalidated and
+// the line lands in L2.
+func (ms *MemSys) DMAWrite(line uint32) {
+	for q := 0; q < ms.cfg.NProcs; q++ {
+		if ms.l1[q].Invalidate(line) {
+			ms.dropSharer(line, q)
+		}
+	}
+	delete(ms.owner, line)
+	ms.l2.Install(line)
+}
+
+func (ms *MemSys) exclusiveLat(p int, line uint32) uint64 {
+	if ms.l1[p].Access(line) {
+		if o, ok := ms.owner[line]; ok && int(o) == p {
+			ms.L1Hits++
+			return ms.cfg.L1Lat
+		}
+		// Present but shared: upgrade through the directory.
+		ms.Upgrades++
+		return ms.cfg.L2Lat
+	}
+	if o, ok := ms.owner[line]; ok && int(o) != p {
+		ms.C2CTransfers++
+		return ms.cfg.L2Lat
+	}
+	if ms.l2.Access(line) {
+		ms.L2Hits++
+		return ms.cfg.L2Lat
+	}
+	ms.MemAccesses++
+	ms.installL2(line)
+	return ms.cfg.MemLat
+}
+
+func (ms *MemSys) invalidateOthers(p int, line uint32) {
+	mask, ok := ms.sharers[line]
+	if !ok {
+		return
+	}
+	for q := 0; q < ms.cfg.NProcs; q++ {
+		if q != p && mask&(1<<uint(q)) != 0 {
+			ms.l1[q].Invalidate(line)
+			ms.dropSharer(line, q)
+		}
+	}
+}
+
+func (ms *MemSys) installL2(line uint32) {
+	if evicted, did := ms.l2.Install(line); did {
+		// Inclusive L2: back-invalidate the victim from every L1.
+		for q := 0; q < ms.cfg.NProcs; q++ {
+			if ms.l1[q].Invalidate(evicted) {
+				ms.dropSharer(evicted, q)
+			}
+		}
+		delete(ms.owner, evicted)
+	}
+}

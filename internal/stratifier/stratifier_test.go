@@ -1,0 +1,200 @@
+package stratifier
+
+import (
+	"testing"
+
+	"delorean/internal/arbiter"
+	"delorean/internal/signature"
+)
+
+func sigOf(lines ...uint32) *signature.Sig {
+	var s signature.Sig
+	for _, l := range lines {
+		s.Insert(l)
+	}
+	return &s
+}
+
+func TestNonConflictingChunksShareStratum(t *testing.T) {
+	s := New(4, 3)
+	s.Add(0, sigOf(), sigOf(1))
+	s.Add(1, sigOf(), sigOf(100))
+	s.Add(2, sigOf(), sigOf(200))
+	l := s.Finish()
+	if l.Len() != 1 {
+		t.Fatalf("strata = %d, want 1", l.Len())
+	}
+	row := l.Strata()[0]
+	if row[0] != 1 || row[1] != 1 || row[2] != 1 || row[3] != 0 {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestConflictOpensNewStratum(t *testing.T) {
+	s := New(4, 7)
+	s.Add(3, sigOf(), sigOf(55))
+	s.Add(0, sigOf(), sigOf(55)) // WAW with proc 3's SR
+	l := s.Finish()
+	if l.Len() != 2 {
+		t.Fatalf("strata = %d, want 2 (conflict must split)", l.Len())
+	}
+	if l.Strata()[0][3] != 1 || l.Strata()[1][0] != 1 {
+		t.Fatalf("strata = %v", l.Strata())
+	}
+}
+
+func TestSameProcConflictDoesNotSplit(t *testing.T) {
+	// Within-processor cross-chunk conflicts are fine (they serialize by
+	// construction) — the paper's §4.3.
+	s := New(4, 7)
+	s.Add(2, sigOf(), sigOf(55))
+	s.Add(2, sigOf(), sigOf(55))
+	l := s.Finish()
+	if l.Len() != 1 || l.Strata()[0][2] != 2 {
+		t.Fatalf("strata = %v", l.Strata())
+	}
+}
+
+func TestReadReadOverlapDoesNotSplit(t *testing.T) {
+	// Chunks that only READ the same lines may replay in any order: no
+	// stratum split (the fix that makes stratification effective on
+	// read-shared workloads like barnes).
+	s := New(4, 7)
+	s.Add(0, sigOf(55), sigOf())
+	s.Add(1, sigOf(55), sigOf())
+	s.Add(2, sigOf(55), sigOf())
+	l := s.Finish()
+	if l.Len() != 1 {
+		t.Fatalf("strata = %d, want 1 (read-read is not a conflict)", l.Len())
+	}
+}
+
+func TestReadAfterWriteSplits(t *testing.T) {
+	s := New(4, 7)
+	s.Add(0, sigOf(), sigOf(55)) // writer
+	s.Add(1, sigOf(55), sigOf()) // reader of the same line
+	l := s.Finish()
+	if l.Len() != 2 {
+		t.Fatalf("strata = %d, want 2 (RAW must split)", l.Len())
+	}
+}
+
+func TestCounterOverflowOpensNewStratum(t *testing.T) {
+	s := New(4, 1)
+	s.Add(0, sigOf(), sigOf(1))
+	s.Add(0, sigOf(), sigOf(2))
+	l := s.Finish()
+	if l.Len() != 2 {
+		t.Fatalf("strata = %d, want 2 (counter max 1)", l.Len())
+	}
+}
+
+func TestCounterBits(t *testing.T) {
+	for _, c := range []struct{ max, bits int }{{1, 1}, {3, 2}, {7, 3}} {
+		l := New(8, c.max).Finish()
+		if got := l.CounterBits(); got != c.bits {
+			t.Errorf("max %d: %d bits, want %d", c.max, got, c.bits)
+		}
+	}
+}
+
+func TestRawBits(t *testing.T) {
+	s := New(8, 3) // 9 columns x 2 bits
+	s.Add(0, sigOf(), sigOf(1))
+	s.Add(1, sigOf(), sigOf(100))
+	l := s.Finish()
+	if got := l.RawBits(); got != 9*2 {
+		t.Fatalf("RawBits = %d, want 18", got)
+	}
+}
+
+func TestTotalChunksPreserved(t *testing.T) {
+	s := New(4, 3)
+	n := 0
+	for i := 0; i < 50; i++ {
+		s.Add(i%4, sigOf(), sigOf(uint32(i*64)))
+		n++
+	}
+	l := s.Finish()
+	if l.TotalChunks() != n {
+		t.Fatalf("TotalChunks = %d, want %d", l.TotalChunks(), n)
+	}
+}
+
+func TestStratumOrderPolicyReplaysBudgets(t *testing.T) {
+	s := New(2, 3)
+	// Stratum 1: proc0 x2, proc1 x1 (no conflicts); then conflict forces
+	// stratum 2 with proc1 x1.
+	s.Add(0, sigOf(), sigOf(0))
+	s.Add(0, sigOf(), sigOf(64))
+	s.Add(1, sigOf(), sigOf(1000))
+	s.Add(1, sigOf(), sigOf(64)) // WAW with proc 0's SR
+	l := s.Finish()
+	if l.Len() != 2 {
+		t.Fatalf("strata = %d, want 2", l.Len())
+	}
+
+	so := NewStratumOrder(l, 2)
+	req := func(p int) *arbiter.Request { return &arbiter.Request{Proc: p} }
+	// Within stratum 1, both procs may commit in any order.
+	if !so.MayGrant(req(0), 0) || !so.MayGrant(req(1), 0) {
+		t.Fatal("stratum 1 budgets wrong")
+	}
+	so.Granted(req(1), 0, 0)
+	so.Granted(req(0), 0, 1)
+	if !so.MayGrant(req(0), 2) {
+		t.Fatal("proc 0 second chunk denied")
+	}
+	if so.MayGrant(req(1), 2) {
+		t.Fatal("proc 1 granted beyond stratum budget")
+	}
+	so.Granted(req(0), 0, 2)
+	// Stratum 2 opens: only proc 1.
+	if !so.MayGrant(req(1), 3) || so.MayGrant(req(0), 3) {
+		t.Fatal("stratum 2 budgets wrong")
+	}
+	so.Granted(req(1), 0, 3)
+	if !so.Done() {
+		t.Fatal("policy not done after all strata")
+	}
+}
+
+func TestStratumOrderGrantBeyondBudgetPanics(t *testing.T) {
+	s := New(1, 1)
+	s.Add(0, sigOf(), sigOf(0))
+	l := s.Finish()
+	so := NewStratumOrder(l, 1)
+	so.Granted(&arbiter.Request{Proc: 0}, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	so.Granted(&arbiter.Request{Proc: 0}, 0, 1)
+}
+
+func TestStratumOrderDMAHead(t *testing.T) {
+	s := New(1, 3)
+	s.Add(1, sigOf(), sigOf(5)) // DMA column for nprocs=1 is index 1
+	l := s.Finish()
+	so := NewStratumOrder(l, 1)
+	if head, ok := so.Head(0); !ok || head != 1 {
+		t.Fatalf("Head = %d,%v, want DMA column", head, ok)
+	}
+}
+
+func TestStratificationSavesSpaceOnParallelPhases(t *testing.T) {
+	// 8 procs committing disjoint working sets: stratification with max 7
+	// should beat the 4-bit-per-entry PI encoding substantially.
+	s := New(8, 7)
+	n := 800
+	for i := 0; i < n; i++ {
+		p := i % 8
+		s.Add(p, sigOf(), sigOf(uint32(p*4096+i/8)))
+	}
+	l := s.Finish()
+	piBits := n * 4
+	if l.RawBits() >= piBits {
+		t.Fatalf("stratified %d bits >= plain PI %d bits on conflict-free load", l.RawBits(), piBits)
+	}
+}

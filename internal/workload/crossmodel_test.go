@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/sim"
+)
+
+// TestRaceFreeKernelsModelIndependent: fft and lu are data-race-free
+// (all cross-processor communication goes through barriers), so their
+// final memory state must be identical under SC, RC and chunked
+// execution — a strong cross-validation of all three machine models'
+// functional semantics.
+func TestRaceFreeKernelsModelIndependent(t *testing.T) {
+	for _, name := range []string{"fft", "lu"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := testParams(4, 12000)
+			cfg := testConfig(4)
+
+			run := func(model sim.Model) uint64 {
+				w := Get(name, p)
+				m := sim.NewMachine(cfg, model, w.Progs, w.InitMem(), w.Devs)
+				st := m.Run()
+				if !st.Converged {
+					t.Fatalf("%v: not converged", model)
+				}
+				return m.Mem.Hash()
+			}
+			sc := run(sim.SC)
+			rc := run(sim.RC)
+
+			w := Get(name, p)
+			ccfg := cfg
+			ccfg.ChunkSize = 700
+			memory := w.InitMem()
+			e := &bulksc.Engine{Cfg: ccfg, Progs: w.Progs, Mem: memory}
+			st := e.Run()
+			if !st.Converged {
+				t.Fatal("chunked: not converged")
+			}
+			chunked := memory.Hash()
+
+			if sc != rc || rc != chunked {
+				t.Fatalf("race-free kernel diverged across models: SC=%x RC=%x chunked=%x", sc, rc, chunked)
+			}
+		})
+	}
+}
