@@ -16,21 +16,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"delorean/internal/experiments"
+	"delorean/internal/runner"
 	"delorean/internal/sim"
 )
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated artifacts, or 'all'")
-		procs   = flag.Int("procs", 8, "processor count")
-		scale   = flag.Int("scale", 150_000, "~instructions per processor")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		replays = flag.Int("replays", 5, "perturbed replays for Fig 11")
-		quick   = flag.Bool("quick", false, "small fast configuration")
+		expList  = flag.String("exp", "all", "comma-separated artifacts, or 'all'")
+		procs    = flag.Int("procs", 8, "processor count")
+		scale    = flag.Int("scale", 150_000, "~instructions per processor")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		replays  = flag.Int("replays", 5, "perturbed replays for Fig 11")
+		quick    = flag.Bool("quick", false, "small fast configuration")
+		parallel = flag.Int("parallel", 0, "worker pool size for independent runs (0: GOMAXPROCS, 1: sequential)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -40,7 +46,37 @@ func main() {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Parallel = *parallel
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	wallStart := time.Now()
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
@@ -113,4 +149,7 @@ func main() {
 		d, err := experiments.Table1(cfg)
 		return experiments.RenderTable1(d), err
 	})
+
+	fmt.Printf("[all selected artifacts took %v on %d workers]\n",
+		time.Since(wallStart).Round(time.Millisecond), runner.Workers(cfg.Parallel))
 }

@@ -1,0 +1,28 @@
+package bulksc
+
+import (
+	"testing"
+
+	"delorean/internal/isa"
+	"delorean/internal/sim"
+)
+
+// BenchmarkChunkStartSquash measures the chunk lifecycle hot path: start
+// a chunk, populate a realistic read/write footprint, then retire it the
+// way a squash or commit does. With the engine's free list the interior
+// maps are recycled, so steady-state allocations are just the chunk
+// object and its written-line slice (which escapes to the arbiter and is
+// deliberately not pooled).
+func BenchmarkChunkStartSquash(b *testing.B) {
+	e := &Engine{Cfg: sim.Default8()}
+	var ckpt isa.ThreadState
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := e.newChunk(0, uint64(i), ckpt, 2000)
+		for a := uint32(0); a < 64; a++ {
+			c.NoteRead(a)
+			c.Write(a<<5, uint64(a))
+		}
+		e.releaseChunk(c)
+	}
+}

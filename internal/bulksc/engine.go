@@ -1,9 +1,7 @@
 package bulksc
 
 import (
-	"container/heap"
 	"fmt"
-	"hash/fnv"
 
 	"delorean/internal/arbiter"
 	"delorean/internal/chunk"
@@ -55,6 +53,7 @@ type Engine struct {
 	ms     *sim.MemSys
 	cores  []*core
 	events eventHeap
+	free   []chunk.Storage // retired chunks' interior buffers, for reuse
 	stats  Stats
 	prng   *rng.Source
 	trng   *rng.Source
@@ -144,32 +143,87 @@ type event struct {
 	req   *arbiter.Request
 }
 
+// eventHeap is a hand-rolled binary min-heap of events. container/heap
+// would box every event into an interface on Push/Pop — one allocation
+// per scheduled event on the engine's hottest loop — so the sift
+// operations are implemented directly on the slice.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (a event) less(b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
+	if a.kind != b.kind {
+		return a.kind < b.kind
 	}
-	if h[i].id != h[j].id {
-		return h[i].id < h[j].id
+	if a.id != b.id {
+		return a.id < b.id
 	}
-	return h[i].epoch < h[j].epoch
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old) - 1
-	v := old[n]
-	*h = old[:n]
-	return v
+	return a.epoch < b.epoch
 }
 
-func (e *Engine) push(ev event) { heap.Push(&e.events, ev) }
+func (h eventHeap) Len() int { return len(h) }
+
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].less(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the request reference for the GC
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].less(s[min]) {
+			min = l
+		}
+		if r < n && s[r].less(s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
+}
+
+func (e *Engine) push(ev event) { e.events.push(ev) }
+
+// newChunk starts a chunk, reusing a retired chunk's interior buffers
+// when available.
+func (e *Engine) newChunk(proc int, seqID uint64, ckpt isa.ThreadState, target int) *chunk.Chunk {
+	if n := len(e.free); n > 0 {
+		st := e.free[n-1]
+		e.free = e.free[:n-1]
+		return chunk.NewWith(st, proc, seqID, ckpt, target)
+	}
+	return chunk.New(proc, seqID, ckpt, target)
+}
+
+// releaseChunk reclaims a retired (committed, squashed or abandoned)
+// chunk's interior buffers. The chunk object itself is left alone:
+// stale events and arbiter bookkeeping may still compare its pointer.
+func (e *Engine) releaseChunk(c *chunk.Chunk) {
+	e.free = append(e.free, c.TakeStorage())
+}
 
 // Run executes the machine to completion and returns statistics.
 func (e *Engine) Run() Stats {
@@ -235,7 +289,7 @@ func (e *Engine) Run() Stats {
 	}
 
 	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && e.totalExec < budget {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		if ev.time < e.now {
 			panic("bulksc: event time regressed")
 		}
@@ -399,6 +453,7 @@ func (e *Engine) stepCore(co *core) {
 			co.cur = nil
 			co.chunks = co.chunks[:len(co.chunks)-1]
 			co.nextSeqRollback(c)
+			e.releaseChunk(c)
 		} else {
 			e.completeChunk(co, chunk.Uncached)
 		}
@@ -486,6 +541,7 @@ func (e *Engine) chunkStore(co *core, in *isa.Inst) bool {
 				co.cur = nil
 				co.chunks = co.chunks[:len(co.chunks)-1]
 				co.nextSeqRollback(c)
+				e.releaseChunk(c)
 				e.block(co, waitOverflow)
 				return false
 			}
@@ -620,6 +676,7 @@ func (e *Engine) squashSelfForInterrupt(co *core) {
 	co.tm.Reset()
 	co.tm.Clock += e.Cfg.SquashPenalty
 	co.nextSeqRollback(c)
+	e.releaseChunk(c)
 	co.epoch++
 }
 
@@ -644,7 +701,7 @@ func (e *Engine) startChunk(co *core) bool {
 
 	var nc *chunk.Chunk
 	if co.splitRemain > 0 {
-		nc = chunk.New(co.proc, co.splitSeq, co.ts, co.splitRemain)
+		nc = e.newChunk(co.proc, co.splitSeq, co.ts, co.splitRemain)
 		nc.SplitPiece = true
 		nc.BudgetReason = co.splitBudget
 		nc.IOAtStart = co.ioCount
@@ -666,7 +723,7 @@ func (e *Engine) startChunk(co *core) bool {
 		} else if e.trng != nil && e.trng.Bool(e.RandomTrunc.Prob) {
 			target = 1 + e.trng.Intn(e.Cfg.ChunkSize)
 		}
-		nc = chunk.New(co.proc, seq, co.ts, target)
+		nc = e.newChunk(co.proc, seq, co.ts, target)
 		nc.BudgetReason = budget
 		nc.IOAtStart = co.ioCount
 		nc.Urgent = co.ts.InIntr && co.ts.IntrUrgent
@@ -852,18 +909,18 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 	}
 	co.chunks = co.chunks[1:]
 
-	h := fnv.New64a()
-	var buf [12]byte
+	// FNV-1a over (addr, value) little-endian, inlined: hash/fnv would
+	// allocate a hash.Hash64 per commit.
+	h := fnvOffset
 	c.Apply(func(a uint32, v uint64) {
 		e.Mem.Store(a, v)
-		buf[0] = byte(a)
-		buf[1] = byte(a >> 8)
-		buf[2] = byte(a >> 16)
-		buf[3] = byte(a >> 24)
-		for k := 0; k < 8; k++ {
-			buf[4+k] = byte(v >> (8 * k))
+		h = fnvByte(h, byte(a))
+		h = fnvByte(h, byte(a>>8))
+		h = fnvByte(h, byte(a>>16))
+		h = fnvByte(h, byte(a>>24))
+		for k := 0; k < 64; k += 8 {
+			h = fnvByte(h, byte(v>>k))
 		}
-		h.Write(buf[:])
 	})
 	for _, l := range c.WLines() {
 		e.ms.CommitLine(c.Proc, l)
@@ -891,12 +948,13 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 		Reason:    c.Reason,
 		Urgent:    c.Urgent,
 		Split:     g.Split,
-		StoreHash: h.Sum64(),
+		StoreHash: h,
 		RSig:      &c.RSig,
 		WSig:      &c.WSig,
 	})
 
 	e.squashConflicting(c.Proc, &c.WSig, c.WLines())
+	e.releaseChunk(c)
 
 	// Track the round-robin token across APPLIED commits (the arbiter's
 	// own policy state can run ahead within a grant batch).
@@ -986,6 +1044,7 @@ func (e *Engine) squashFrom(co *core, idx int, committer int) {
 		co.squashes++
 		e.stats.Squashes++
 		e.Obs.OnSquash(co.proc, d.SeqID, d.Insts, committer)
+		e.releaseChunk(d)
 	}
 	co.chunks = co.chunks[:idx]
 	co.cur = nil
@@ -1024,7 +1083,7 @@ func (e *Engine) squashFrom(co *core, idx int, committer int) {
 		target /= 2
 		budget = chunk.Collision
 	}
-	nc := chunk.New(co.proc, victim.SeqID, co.ts, target)
+	nc := e.newChunk(co.proc, victim.SeqID, co.ts, target)
 	nc.Restarts = restarts
 	nc.Urgent = victim.Urgent
 	nc.SplitPiece = victim.SplitPiece
@@ -1037,6 +1096,14 @@ func (e *Engine) squashFrom(co *core, idx int, committer int) {
 	co.epoch++
 	e.reschedule(co)
 }
+
+// FNV-1a constants (hash/fnv's algorithm, inlined on the commit path).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
 
 // chunkAlive reports whether c is still one of its processor's
 // uncommitted chunks (it may have been squashed and replaced).

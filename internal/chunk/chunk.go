@@ -121,14 +121,54 @@ type Chunk struct {
 // New starts a chunk for proc with the given sequence number, register
 // checkpoint and instruction budget.
 func New(proc int, seqID uint64, ckpt isa.ThreadState, target int) *Chunk {
+	return NewWith(Storage{}, proc, seqID, ckpt, target)
+}
+
+// Storage is a chunk's reusable interior allocation: the speculative
+// write buffer and read-line set. Chunks start and die (commit or
+// squash) millions of times per run; recycling these maps through the
+// engine's free list removes the dominant per-chunk allocation cost.
+//
+// The written-line slice (WLines) is deliberately NOT part of Storage:
+// its ownership escapes the chunk — commit requests and the arbiter's
+// in-flight conflict window hold it after the chunk retires — so it is
+// left to the garbage collector.
+type Storage struct {
+	writes     map[uint32]uint64
+	writeOrder []uint32
+	rLines     map[uint32]struct{}
+}
+
+// NewWith is New drawing interior buffers from st (a retired chunk's
+// storage); zero-value Storage fields are allocated fresh.
+func NewWith(st Storage, proc int, seqID uint64, ckpt isa.ThreadState, target int) *Chunk {
+	if st.writes == nil {
+		st.writes = make(map[uint32]uint64)
+	}
+	if st.rLines == nil {
+		st.rLines = make(map[uint32]struct{})
+	}
 	return &Chunk{
 		Proc:       proc,
 		SeqID:      seqID,
 		Checkpoint: ckpt,
 		Target:     target,
-		writes:     make(map[uint32]uint64),
-		rLines:     make(map[uint32]struct{}),
+		writes:     st.writes,
+		writeOrder: st.writeOrder,
+		rLines:     st.rLines,
 	}
+}
+
+// TakeStorage strips c's interior buffers, cleared for reuse, and
+// returns them. The chunk object itself stays intact (pointer-identity
+// checks against stale events keep working) but must not execute or
+// buffer further accesses.
+func (c *Chunk) TakeStorage() Storage {
+	st := Storage{writes: c.writes, writeOrder: c.writeOrder[:0], rLines: c.rLines}
+	clear(st.writes)
+	clear(st.rLines)
+	c.writes, c.writeOrder, c.rLines = nil, nil, nil
+	return st
 }
 
 // NoteRead records a load from line.

@@ -6,6 +6,7 @@ import (
 	"delorean/internal/baseline"
 	"delorean/internal/core"
 	"delorean/internal/metrics"
+	"delorean/internal/runner"
 	"delorean/internal/workload"
 )
 
@@ -44,26 +45,34 @@ func (c Config) logSizes(name string, mode core.Mode, chunkSize int) (LogSizeRow
 }
 
 // logSizeFigure runs one figure's sweep: per group (SP2 geomean + the two
-// commercial workloads) and per standard chunk size.
+// commercial workloads) and per standard chunk size. The full (chunk size
+// x workload) cross product fans across the worker pool; rows assemble in
+// the figure's fixed order from the index-addressed results.
 func (c Config) logSizeFigure(mode core.Mode, chunkSizes []int) ([]LogSizeRow, error) {
-	var rows []LogSizeRow
+	splash, commercial := workload.SplashNames(), workload.CommercialNames()
+	names := append(append([]string{}, splash...), commercial...)
+	type task struct {
+		cs   int
+		name string
+	}
+	var tasks []task
 	for _, cs := range chunkSizes {
-		var sp2 []LogSizeRow
-		for _, name := range workload.SplashNames() {
-			r, err := c.logSizes(name, mode, cs)
-			if err != nil {
-				return nil, err
-			}
-			sp2 = append(sp2, r)
+		for _, name := range names {
+			tasks = append(tasks, task{cs: cs, name: name})
 		}
-		rows = append(rows, geoMeanRow("SP2-G.M.", cs, sp2))
-		for _, name := range workload.CommercialNames() {
-			r, err := c.logSizes(name, mode, cs)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r)
-		}
+	}
+	res, err := runner.Map(c.Parallel, len(tasks), func(i int) (LogSizeRow, error) {
+		return c.logSizes(tasks[i].name, mode, tasks[i].cs)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []LogSizeRow
+	for ci, cs := range chunkSizes {
+		base := ci * len(names)
+		rows = append(rows, geoMeanRow("SP2-G.M.", cs, res[base:base+len(splash)]))
+		rows = append(rows, res[base+len(splash):base+len(names)]...)
 	}
 	return rows, nil
 }
@@ -177,21 +186,17 @@ func Fig9(c Config) ([]Fig9Row, error) {
 		}
 	}
 
-	var sp2 []meas
-	for _, name := range workload.SplashNames() {
-		m, err := measure(name)
-		if err != nil {
-			return nil, err
-		}
-		sp2 = append(sp2, m)
+	splash, commercial := workload.SplashNames(), workload.CommercialNames()
+	names := append(append([]string{}, splash...), commercial...)
+	ms, err := runner.Map(c.Parallel, len(names), func(i int) (meas, error) {
+		return measure(names[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	emit("SP2-G.M.", sp2)
-	for _, name := range workload.CommercialNames() {
-		m, err := measure(name)
-		if err != nil {
-			return nil, err
-		}
-		emit(name, []meas{m})
+	emit("SP2-G.M.", ms[:len(splash)])
+	for i, name := range commercial {
+		emit(name, ms[len(splash)+i:len(splash)+i+1])
 	}
 	return rows, nil
 }
@@ -224,10 +229,13 @@ type BaselineRow struct {
 }
 
 // Baselines measures FDR/RTR/Strata (on SC) and DeLorean's OrderOnly and
-// PicoLog logs (on the chunked machine) for every workload.
+// PicoLog logs (on the chunked machine) for every workload, one worker
+// per workload. The OrderOnly and PicoLog recordings are the same
+// memoized runs Figures 6, 7, 10 and 11 consume.
 func Baselines(c Config) ([]BaselineRow, error) {
-	var rows []BaselineRow
-	for _, name := range c.workloads() {
+	names := c.workloads()
+	return runner.Map(c.Parallel, len(names), func(i int) (BaselineRow, error) {
+		name := names[i]
 		w := workload.Get(name, c.params())
 		fdr := baseline.NewFDR(c.Procs)
 		rtr := baseline.NewRTR(c.Procs)
@@ -235,7 +243,7 @@ func Baselines(c Config) ([]BaselineRow, error) {
 		strNW := baseline.NewStrata(c.Procs, true)
 		st := baseline.Run(c.machine(), w.Progs, w.InitMem(), w.Devs, fdr, rtr, str, strNW)
 		if !st.Converged {
-			return nil, fmt.Errorf("%s: SC run did not converge", name)
+			return BaselineRow{}, fmt.Errorf("%s: SC run did not converge", name)
 		}
 		row := BaselineRow{Workload: name}
 		row.FDR = baseline.BitsPerProcPerKinst(fdr.CompressedBits(), c.Procs, st.Insts)
@@ -245,17 +253,16 @@ func Baselines(c Config) ([]BaselineRow, error) {
 
 		recOO, err := c.recordWorkload(name, core.OrderOnly, 2000, core.RecordOptions{})
 		if err != nil {
-			return nil, err
+			return BaselineRow{}, err
 		}
 		row.OrderOnly = recOO.BitsPerProcPerKinst(recOO.MemOrderingCompressedBits())
 		recPL, err := c.recordWorkload(name, core.PicoLog, 1000, core.RecordOptions{})
 		if err != nil {
-			return nil, err
+			return BaselineRow{}, err
 		}
 		row.PicoLog = recPL.BitsPerProcPerKinst(recPL.MemOrderingCompressedBits())
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderBaselines renders the baseline comparison.

@@ -7,6 +7,7 @@ import (
 	"delorean/internal/bulksc"
 	"delorean/internal/core"
 	"delorean/internal/metrics"
+	"delorean/internal/runner"
 	"delorean/internal/sim"
 	"delorean/internal/workload"
 )
@@ -23,14 +24,14 @@ type Fig10Row struct {
 
 // Fig10 reproduces Figure 10: performance during initial execution
 // normalized to RC, per workload plus the SPLASH-2 geometric mean.
+// Workloads run concurrently; rows are gathered by workload index.
 func Fig10(c Config) ([]Fig10Row, error) {
-	var rows []Fig10Row
-	for _, name := range c.workloads() {
-		row, err := c.fig10One(name)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+	names := c.workloads()
+	rows, err := runner.Map(c.Parallel, len(names), func(i int) (Fig10Row, error) {
+		return c.fig10One(names[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows = append(rows, geoMeanFig10("SP2-G.M.", rows))
 	return rows, nil
@@ -49,7 +50,7 @@ func (c Config) fig10One(name string) (Fig10Row, error) {
 		return float64(rc.Cycles) / float64(cycles)
 	}
 
-	_, plain := c.runChunked(name, 2000, false, 0)
+	plain := c.runChunked(name, 2000, false, 0)
 	row := Fig10Row{Workload: name, BulkSC: speed(plain.Cycles), SC: speed(scSt.Cycles)}
 
 	recOS, err := c.recordWorkload(name, core.OrderSize, 2000, core.RecordOptions{TruncSeed: c.Seed})
@@ -121,62 +122,112 @@ type Fig11Row struct {
 	Replay    float64
 }
 
+// fig11Specs are Figure 11's three recording environments. OrderOnly and
+// StratifiedOrderOnly differ only in replay options; the memo cache's
+// canonical key makes them share one recording (the stratifier is a pure
+// observer, so a StratifyMax=1 recording serves both).
+type fig11Spec struct {
+	label string
+	mode  core.Mode
+	chunk int
+	opts  core.RecordOptions
+	rOpts core.ReplayOptions
+}
+
+func fig11Specs() []fig11Spec {
+	return []fig11Spec{
+		{label: "OrderOnly", mode: core.OrderOnly, chunk: 2000},
+		{label: "StratifiedOrderOnly", mode: core.OrderOnly, chunk: 2000,
+			opts:  core.RecordOptions{StratifyMax: 1},
+			rOpts: core.ReplayOptions{UseStratified: true}},
+		{label: "PicoLog", mode: core.PicoLog, chunk: 1000},
+	}
+}
+
 // Fig11 reproduces Figure 11: execution and replay performance of
 // OrderOnly, Stratified OrderOnly and PicoLog, normalized to RC. Replay
 // runs under the paper's §6.2.1 protocol: parallel commit disabled,
 // 50-cycle arbitration, and ReplayRuns perturbed runs averaged.
+//
+// Every (workload, mode, perturbation) replay is an independent task; the
+// whole cross product fans across the worker pool, with the single-flight
+// cache ensuring each recording and each RC reference is produced once.
+// Replaying one recording concurrently is safe: a Recording is read-only
+// after Record and each Replay builds fresh machine state.
 func Fig11(c Config) ([]Fig11Row, error) {
-	var rows []Fig11Row
-	for _, name := range c.workloads() {
-		rc := c.runClassic(name, sim.RC)
-		if !rc.Converged {
-			return nil, fmt.Errorf("%s: RC did not converge", name)
-		}
-		speed := func(cycles uint64) float64 { return float64(rc.Cycles) / float64(cycles) }
+	names := c.workloads()
+	specs := fig11Specs()
+	runs := c.ReplayRuns
+	if runs <= 0 {
+		runs = 5
+	}
 
-		type modeSpec struct {
-			label string
-			mode  core.Mode
-			chunk int
-			opts  core.RecordOptions
-			rOpts core.ReplayOptions
-		}
-		specs := []modeSpec{
-			{label: "OrderOnly", mode: core.OrderOnly, chunk: 2000},
-			{label: "StratifiedOrderOnly", mode: core.OrderOnly, chunk: 2000,
-				opts:  core.RecordOptions{StratifyMax: 1},
-				rOpts: core.ReplayOptions{UseStratified: true}},
-			{label: "PicoLog", mode: core.PicoLog, chunk: 1000},
-		}
+	type task struct {
+		name string
+		spec fig11Spec
+		run  int
+	}
+	var tasks []task
+	for _, name := range names {
 		for _, spec := range specs {
+			for run := 0; run < runs; run++ {
+				tasks = append(tasks, task{name: name, spec: spec, run: run})
+			}
+		}
+	}
+	cycles, err := runner.Map(c.Parallel, len(tasks), func(i int) (float64, error) {
+		t := tasks[i]
+		rc := c.runClassic(t.name, sim.RC)
+		if !rc.Converged {
+			return 0, fmt.Errorf("%s: RC did not converge", t.name)
+		}
+		key := runKey{
+			kind: "replay", workload: t.name, procs: c.Procs, scale: c.Scale, seed: c.Seed,
+			mode: t.spec.mode, chunkSize: t.spec.chunk,
+			stratReplay: t.spec.rOpts.UseStratified, run: t.run,
+		}
+		r := c.cache().replays.Do(key, func() replayResult {
+			rec, err := c.recordWorkload(t.name, t.spec.mode, t.spec.chunk, t.spec.opts)
+			if err != nil {
+				return replayResult{err: fmt.Errorf("%s/%s: %w", t.name, t.spec.label, err)}
+			}
+			w := workload.Get(t.name, c.params())
+			rcfg := core.ReplayConfig(c.machine())
+			rcfg.ChunkSize = t.spec.chunk
+			ro := t.spec.rOpts
+			ro.Perturb = bulksc.DefaultPerturb(c.Seed*1000 + uint64(t.run))
+			res, err := core.Replay(rec, rcfg, w.Progs, ro)
+			if err != nil {
+				return replayResult{err: fmt.Errorf("%s/%s replay: %w", t.name, t.spec.label, err)}
+			}
+			if !res.Matches(rec) {
+				return replayResult{err: fmt.Errorf("%s/%s: replay diverged", t.name, t.spec.label)}
+			}
+			return replayResult{cycles: float64(res.Stats.Cycles)}
+		})
+		return r.cycles, r.err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble rows in (workload, mode) order from the index-ordered
+	// cycle counts; every run below is a cache hit.
+	var rows []Fig11Row
+	idx := 0
+	for _, name := range names {
+		rc := c.runClassic(name, sim.RC)
+		for _, spec := range specs {
+			cyc := cycles[idx : idx+runs]
+			idx += runs
 			rec, err := c.recordWorkload(name, spec.mode, spec.chunk, spec.opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, spec.label, err)
 			}
-			w := workload.Get(name, c.params())
-			rcfg := core.ReplayConfig(c.machine())
-			rcfg.ChunkSize = spec.chunk
-			var cyc []float64
-			runs := c.ReplayRuns
-			if runs <= 0 {
-				runs = 5
-			}
-			for run := 0; run < runs; run++ {
-				ro := spec.rOpts
-				ro.Perturb = bulksc.DefaultPerturb(c.Seed*1000 + uint64(run))
-				res, err := core.Replay(rec, rcfg, w.Progs, ro)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s replay: %w", name, spec.label, err)
-				}
-				if !res.Matches(rec) {
-					return nil, fmt.Errorf("%s/%s: replay diverged", name, spec.label)
-				}
-				cyc = append(cyc, float64(res.Stats.Cycles))
-			}
 			rows = append(rows, Fig11Row{
 				Workload:  name,
 				Mode:      spec.label,
-				Execution: speed(rec.Stats.Cycles),
+				Execution: float64(rc.Cycles) / float64(rec.Stats.Cycles),
 				Replay:    float64(rc.Cycles) / metrics.Mean(cyc),
 			})
 		}
@@ -236,33 +287,52 @@ func Fig12(c Config, procs []int, chunkSizes []int, simuls []int) ([]Fig12Row, e
 	if len(simuls) == 0 {
 		simuls = []int{1, 2, 3, 4, 8, 16}
 	}
-	var rows []Fig12Row
+	// Flatten the whole (procs x chunk x simul x workload) sweep into
+	// independent tasks; the RC reference per (procs, workload) pair is a
+	// memoized run the tasks share.
+	splash := workload.SplashNames()
+	type task struct {
+		np, cs, sm int
+		name       string
+	}
+	var tasks []task
 	for _, np := range procs {
-		cp := c
-		cp.Procs = np
-		// RC reference per workload at this processor count.
-		rcCycles := map[string]uint64{}
-		for _, name := range workload.SplashNames() {
-			st := cp.runClassic(name, sim.RC)
-			if !st.Converged {
-				return nil, fmt.Errorf("%s@%dp: RC did not converge", name, np)
-			}
-			rcCycles[name] = st.Cycles
-		}
 		for _, cs := range chunkSizes {
 			for _, sm := range simuls {
-				var speeds []float64
-				for _, name := range workload.SplashNames() {
-					_, st := cp.runChunked(name, cs, true, sm)
-					if !st.Converged {
-						return nil, fmt.Errorf("%s@%dp cs=%d sm=%d: did not converge", name, np, cs, sm)
-					}
-					speeds = append(speeds, float64(rcCycles[name])/float64(st.Cycles))
+				for _, name := range splash {
+					tasks = append(tasks, task{np: np, cs: cs, sm: sm, name: name})
 				}
+			}
+		}
+	}
+	speeds, err := runner.Map(c.Parallel, len(tasks), func(i int) (float64, error) {
+		t := tasks[i]
+		cp := c
+		cp.Procs = t.np
+		rc := cp.runClassic(t.name, sim.RC)
+		if !rc.Converged {
+			return 0, fmt.Errorf("%s@%dp: RC did not converge", t.name, t.np)
+		}
+		st := cp.runChunked(t.name, t.cs, true, t.sm)
+		if !st.Converged {
+			return 0, fmt.Errorf("%s@%dp cs=%d sm=%d: did not converge", t.name, t.np, t.cs, t.sm)
+		}
+		return float64(rc.Cycles) / float64(st.Cycles), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig12Row
+	idx := 0
+	for _, np := range procs {
+		for _, cs := range chunkSizes {
+			for _, sm := range simuls {
 				rows = append(rows, Fig12Row{
 					Procs: np, ChunkSize: cs, SimulChunks: sm,
-					Speedup: metrics.GeoMean(speeds),
+					Speedup: metrics.GeoMean(speeds[idx : idx+len(splash)]),
 				})
+				idx += len(splash)
 			}
 		}
 	}
@@ -294,10 +364,13 @@ type Table6Row struct {
 }
 
 // Table6 reproduces Table 6: PicoLog's commit-token behaviour per
-// workload at 8 processors (or c.Procs).
+// workload at 8 processors (or c.Procs). The runs are not memoized —
+// the row needs the engine's arbiter and token internals, not just
+// Stats — but they do fan across the worker pool.
 func Table6(c Config) ([]Table6Row, error) {
-	var rows []Table6Row
-	for _, name := range c.workloads() {
+	names := c.workloads()
+	return runner.Map(c.Parallel, len(names), func(i int) (Table6Row, error) {
+		name := names[i]
 		w := workload.Get(name, c.params())
 		cfg := c.machine()
 		cfg.ChunkSize = 1000
@@ -305,7 +378,7 @@ func Table6(c Config) ([]Table6Row, error) {
 		e := &bulksc.Engine{Cfg: cfg, Progs: w.Progs, Mem: w.InitMem(), Devs: w.Devs, Policy: rr, PicoLog: true}
 		st := e.Run()
 		if !st.Converged {
-			return nil, fmt.Errorf("%s: PicoLog run did not converge", name)
+			return Table6Row{}, fmt.Errorf("%s: PicoLog run did not converge", name)
 		}
 		arbStats := e.Arbiter().StatsAt(st.Cycles)
 		tok := rr.Tokens()
@@ -313,7 +386,7 @@ func Table6(c Config) ([]Table6Row, error) {
 		if st.Cycles > 0 {
 			stallPct = 100 * float64(st.SlotStallCycles) / float64(st.Cycles*uint64(cfg.NProcs))
 		}
-		rows = append(rows, Table6Row{
+		return Table6Row{
 			Workload:        name,
 			ReadyProcsAvg:   arbStats.ReadyProcsAvg,
 			ActualCommitAvg: arbStats.ActualCommitAvg,
@@ -322,9 +395,8 @@ func Table6(c Config) ([]Table6Row, error) {
 			WaitCompleteCyc: tok.WaitCompleteAvg,
 			TokenRoundtrip:  tok.RoundtripAvg,
 			StallPct:        stallPct,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable6 renders the Table 6 characterization.

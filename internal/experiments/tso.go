@@ -5,6 +5,7 @@ import (
 
 	"delorean/internal/baseline"
 	"delorean/internal/metrics"
+	"delorean/internal/runner"
 	"delorean/internal/sim"
 	"delorean/internal/workload"
 )
@@ -24,13 +25,16 @@ type TSORow struct {
 }
 
 // TSOStudy measures the Advanced-RTR configuration: recording on the
-// TSO machine with value logging for bypassing loads.
+// TSO machine with value logging for bypassing loads. Workloads fan
+// across the worker pool; the RC/SC references are memoized runs shared
+// with Figures 10 and 11.
 func TSOStudy(c Config) ([]TSORow, error) {
-	var rows []TSORow
-	for _, name := range c.workloads() {
+	names := c.workloads()
+	rows, err := runner.Map(c.Parallel, len(names), func(i int) (TSORow, error) {
+		name := names[i]
 		rc := c.runClassic(name, sim.RC)
 		if !rc.Converged {
-			return nil, fmt.Errorf("%s: RC did not converge", name)
+			return TSORow{}, fmt.Errorf("%s: RC did not converge", name)
 		}
 		scStats := c.runClassic(name, sim.SC)
 
@@ -38,24 +42,27 @@ func TSOStudy(c Config) ([]TSORow, error) {
 		adv := baseline.NewAdvancedRTR(c.Procs, 0)
 		tso := baseline.RunModel(c.machine(), sim.TSO, w.Progs, w.InitMem(), w.Devs, adv)
 		if !tso.Converged {
-			return nil, fmt.Errorf("%s: TSO did not converge", name)
+			return TSORow{}, fmt.Errorf("%s: TSO did not converge", name)
 		}
 
 		w2 := workload.Get(name, c.params())
 		basic := baseline.NewRTR(c.Procs)
 		scRun := baseline.Run(c.machine(), w2.Progs, w2.InitMem(), w2.Devs, basic)
 		if !scRun.Converged {
-			return nil, fmt.Errorf("%s: SC did not converge", name)
+			return TSORow{}, fmt.Errorf("%s: SC did not converge", name)
 		}
 
-		rows = append(rows, TSORow{
+		return TSORow{
 			Workload:     name,
 			TSOSpeed:     float64(rc.Cycles) / float64(tso.Cycles),
 			SCSpeed:      float64(rc.Cycles) / float64(scStats.Cycles),
 			AdvRTRLog:    baseline.BitsPerProcPerKinst(adv.CompressedBits(), c.Procs, tso.Insts),
 			BasicRTRLog:  baseline.BitsPerProcPerKinst(basic.CompressedBits(), c.Procs, scRun.Insts),
 			ValueEntries: adv.ValueEntries(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// SPLASH-2 geometric means.
 	var ts, ss, al, bl []float64

@@ -1,0 +1,58 @@
+package signature
+
+import (
+	"testing"
+
+	"delorean/internal/rng"
+)
+
+// sigWithLines builds a signature holding n line addresses drawn from a
+// contiguous region starting at base — the shape real chunks produce
+// (line-contiguous working sets with some stride).
+func sigWithLines(base uint32, n int, seed uint64) *Sig {
+	r := rng.New(seed)
+	var s Sig
+	for i := 0; i < n; i++ {
+		s.Insert(base + uint32(r.Intn(4*n+1)))
+	}
+	return &s
+}
+
+// BenchmarkIntersectsDisjoint is the arbiter sweep's common case: the
+// committing chunk's write set shares nothing with the running chunk.
+func BenchmarkIntersectsDisjoint(b *testing.B) {
+	a := sigWithLines(0x1000, 40, 1)
+	c := sigWithLines(0x4000_0000>>5, 40, 2)
+	if a.Intersects(c) {
+		b.Skip("signatures alias; pick different regions")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Intersects(c) {
+			b.Fatal("disjoint signatures intersect")
+		}
+	}
+}
+
+// BenchmarkIntersectsOverlap measures the true-conflict path (shared
+// line present, all banks overlap).
+func BenchmarkIntersectsOverlap(b *testing.B) {
+	a := sigWithLines(0x1000, 40, 1)
+	c := sigWithLines(0x1000, 40, 3)
+	c.Insert(0x1000) // guarantee a shared line
+	a.Insert(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !a.Intersects(c) {
+			b.Fatal("shared line not detected")
+		}
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	s := sigWithLines(0x1000, 60, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MayContain(uint32(i) & 0xffff)
+	}
+}

@@ -42,6 +42,13 @@ const (
 // signature. Sig is a value type: assignment copies.
 type Sig struct {
 	w [words]uint64
+	// sum summarizes occupancy: bit i is set iff w[i] != 0 (words == 32,
+	// so the summary fits one uint32). The arbiter's conflict sweep
+	// intersects every committing chunk's W signature against every
+	// running chunk's R and W signatures; most pairs are disjoint, and
+	// the summary proves a bank's AND empty with one mask AND instead of
+	// a word scan.
+	sum uint32
 }
 
 // bankShifts selects the bit-field granularity of each bank: bank n
@@ -67,7 +74,9 @@ func bankIndex(line uint32, n int) uint32 {
 func (s *Sig) Insert(line uint32) {
 	for n := 0; n < numBanks; n++ {
 		b := bankIndex(line, n)
-		s.w[n*bankW64+int(b>>6)] |= 1 << (b & 63)
+		i := n*bankW64 + int(b>>6)
+		s.w[i] |= 1 << (b & 63)
+		s.sum |= 1 << i
 	}
 }
 
@@ -86,8 +95,19 @@ func (s *Sig) MayContain(line uint32) bool {
 // Intersects reports whether the encoded sets may share an address: true
 // only when every bank pair overlaps — the hardware disambiguation
 // primitive (bitwise AND per bank, empty if any bank AND is zero).
+//
+// The occupancy summaries give a word-level early exit: a bank with no
+// co-occupied word has an empty AND, so disjoint signatures (the common
+// case in the conflict sweep) are rejected from the summary alone
+// without touching the bit arrays.
 func (s *Sig) Intersects(o *Sig) bool {
+	common := s.sum & o.sum
+	const perBank = 1<<bankW64 - 1
 	for n := 0; n < numBanks; n++ {
+		bm := common >> (n * bankW64) & perBank
+		if bm == 0 {
+			return false // no co-occupied word: bank AND is empty
+		}
 		overlap := false
 		base := n * bankW64
 		for i := base; i < base+bankW64; i++ {
@@ -110,20 +130,17 @@ func (s *Sig) Union(o *Sig) {
 	for i := range s.w {
 		s.w[i] |= o.w[i]
 	}
+	s.sum |= o.sum
 }
 
 // Clear empties the signature.
-func (s *Sig) Clear() { s.w = [words]uint64{} }
+func (s *Sig) Clear() {
+	s.w = [words]uint64{}
+	s.sum = 0
+}
 
 // Empty reports whether no bits are set.
-func (s *Sig) Empty() bool {
-	for _, w := range s.w {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (s *Sig) Empty() bool { return s.sum == 0 }
 
 // PopCount returns the number of set bits (used to characterize occupancy
 // and false-positive pressure in the ablation bench).

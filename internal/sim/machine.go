@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"delorean/internal/device"
@@ -114,55 +113,38 @@ func NewMachine(cfg Config, model Model, progs []*isa.Program, memory *mem.Memor
 // MemSys exposes the hierarchy counters for tests.
 func (m *Machine) MemSys() *MemSys { return m.ms }
 
-// coreHeap orders cores by (clock, proc) for deterministic global time
-// order.
-type coreHeap struct {
-	times []uint64
-	procs []int
-}
-
-func (h *coreHeap) Len() int { return len(h.procs) }
-func (h *coreHeap) Less(i, j int) bool {
-	if h.times[i] != h.times[j] {
-		return h.times[i] < h.times[j]
+// nextCore selects the non-halted core with the minimum clock, ties
+// broken by lowest processor index — the deterministic global time order.
+// A core's clock only advances when it is stepped, so a linear scan here
+// is equivalent to the priority queue it replaces, without boxing a
+// (clock, proc) pair per scheduling decision.
+func (m *Machine) nextCore() int {
+	best := -1
+	var bestClock uint64
+	for p, cc := range m.cores {
+		if cc.ts.Halted {
+			continue
+		}
+		if best < 0 || cc.tm.Clock < bestClock {
+			best, bestClock = p, cc.tm.Clock
+		}
 	}
-	return h.procs[i] < h.procs[j]
-}
-func (h *coreHeap) Swap(i, j int) {
-	h.times[i], h.times[j] = h.times[j], h.times[i]
-	h.procs[i], h.procs[j] = h.procs[j], h.procs[i]
-}
-func (h *coreHeap) Push(x any) {
-	pair := x.([2]uint64)
-	h.times = append(h.times, pair[0])
-	h.procs = append(h.procs, int(pair[1]))
-}
-func (h *coreHeap) Pop() any {
-	n := len(h.procs) - 1
-	v := [2]uint64{h.times[n], uint64(h.procs[n])}
-	h.times = h.times[:n]
-	h.procs = h.procs[:n]
-	return v
+	return best
 }
 
 // Run executes until every thread halts (or the instruction budget is
 // exhausted) and returns the run statistics.
 func (m *Machine) Run() Stats {
-	h := &coreHeap{}
-	for p := range m.cores {
-		heap.Push(h, [2]uint64{0, uint64(p)})
-	}
 	dmaIdx := 0
 	budget := m.Cfg.maxInsts()
 	var total uint64
 
-	for h.Len() > 0 {
-		top := heap.Pop(h).([2]uint64)
-		p := int(top[1])
-		cc := m.cores[p]
-		if cc.ts.Halted {
-			continue
+	for {
+		p := m.nextCore()
+		if p < 0 {
+			break
 		}
+		cc := m.cores[p]
 		now := cc.tm.Clock
 
 		// Apply device activity scheduled before this point in global
@@ -184,10 +166,6 @@ func (m *Machine) Run() Stats {
 			break
 		}
 		total += m.step(p, cc)
-
-		if !cc.ts.Halted {
-			heap.Push(h, [2]uint64{cc.tm.Clock, uint64(p)})
-		}
 	}
 
 	st := &m.stats
