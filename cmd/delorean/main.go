@@ -14,6 +14,7 @@
 //	-replays n       perturbed replay runs to verify (default 5)
 //	-stratify n      also build the stratified PI log (chunks/stratum)
 //	-seed n          workload seed
+//	-simparallel n   intra-run simulator workers (default 1: sequential)
 //	-list            list workloads and exit
 package main
 
@@ -36,6 +37,7 @@ func main() {
 		replays  = flag.Int("replays", 5, "perturbed replay runs")
 		stratify = flag.Int("stratify", 0, "stratified PI log chunks/stratum (0: off)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		simpar   = flag.Int("simparallel", 1, "intra-run simulator workers (1: sequential reference scheduler)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		savePath = flag.String("save", "", "save the recording to this file")
 		loadPath = flag.String("load", "", "replay a previously saved recording instead of recording")
@@ -63,6 +65,7 @@ func main() {
 	cfg := delorean.DefaultConfig()
 	cfg.Processors = *procs
 	cfg.Stratify = *stratify
+	cfg.SimParallel = *simpar
 	if *chunk > 0 {
 		cfg.ChunkSize = *chunk
 	} else if mode == delorean.PicoLog {
@@ -120,6 +123,10 @@ func main() {
 	fmt.Printf("  squashes          %d\n", st.Squashes)
 	if st.Interrupts+st.IOOps+st.DMAs > 0 {
 		fmt.Printf("  interrupts/io/dma %d / %d / %d\n", st.Interrupts, st.IOOps, st.DMAs)
+	}
+	if ss := rec.SchedStats(); ss.Windows > 0 {
+		fmt.Printf("  scheduler         %d windows (mean %.2f cores), %d serial events\n",
+			ss.Windows, float64(ss.EligibleCores)/float64(ss.Windows), ss.SerialEvents)
 	}
 	fmt.Printf("\nmemory-ordering log:\n")
 	fmt.Printf("  raw               %d bits\n", rec.LogBits(false))

@@ -93,6 +93,12 @@ type Config struct {
 	// MaxInstructions bounds a run (0: a large default); runs exceeding
 	// it report an error instead of hanging on a livelocked program.
 	MaxInstructions uint64
+	// SimParallel sets the simulator's intra-run worker count: between
+	// two consecutive global events (arbiter commits, interrupt/DMA
+	// delivery, I/O), all runnable simulated cores advance concurrently.
+	// 0 or 1 selects the sequential reference scheduler; every worker
+	// count produces byte-identical recordings and replays.
+	SimParallel int
 }
 
 // DefaultConfig returns the paper's Table 5 machine: 8 processors,
@@ -207,6 +213,7 @@ func Record(cfg Config, mode Mode, w *Workload) (*Recording, error) {
 		StratifyMax:     cfg.Stratify,
 		ExactConflicts:  cfg.ExactConflicts,
 		CheckpointEvery: cfg.CheckpointEvery,
+		Parallel:        cfg.SimParallel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("delorean: record %s: %w", w.Name, err)
@@ -219,6 +226,28 @@ func (r *Recording) Mode() Mode { return Mode(r.rec.Mode) }
 
 // Stats returns the initial execution's statistics.
 func (r *Recording) Stats() ExecStats { return execStats(r.rec.Stats) }
+
+// SchedStats describes how the intra-run parallel scheduler
+// (Config.SimParallel > 1) spent the recording run: how many parallel
+// windows it opened, the total eligible-core fan-out across them, and
+// how many global events it processed serially between windows. All
+// zero after a sequential run. Host-side diagnostics only — the
+// simulated execution is byte-identical at every worker count.
+type SchedStats struct {
+	Windows       uint64
+	EligibleCores uint64
+	SerialEvents  uint64
+}
+
+// SchedStats returns the recording run's parallel-scheduler barrier
+// statistics.
+func (r *Recording) SchedStats() SchedStats {
+	return SchedStats{
+		Windows:       r.rec.Sched.Windows,
+		EligibleCores: r.rec.Sched.EligibleCores,
+		SerialEvents:  r.rec.Sched.SerialEvents,
+	}
+}
 
 // LogBits returns the memory-ordering log size in bits (PI + CS logs;
 // input logs excluded, following the paper's metric), raw or
@@ -274,6 +303,7 @@ func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
 	ro := core.ReplayOptions{
 		UseStratified:  opts.UseStratified,
 		ExactConflicts: r.cfg.ExactConflicts,
+		Parallel:       r.cfg.SimParallel,
 	}
 	if opts.PerturbSeed != 0 {
 		ro.Perturb = bulksc.DefaultPerturb(opts.PerturbSeed)
@@ -315,7 +345,7 @@ func (r *Recording) Checkpoints() int { return len(r.rec.Checkpoints) }
 // their saved chunk boundaries, and the log suffixes drive ordering and
 // inputs.
 func (r *Recording) ReplayFromCheckpoint(idx int, opts ReplayWith) (ReplayResult, error) {
-	ro := core.ReplayOptions{ExactConflicts: r.cfg.ExactConflicts}
+	ro := core.ReplayOptions{ExactConflicts: r.cfg.ExactConflicts, Parallel: r.cfg.SimParallel}
 	if opts.PerturbSeed != 0 {
 		ro.Perturb = bulksc.DefaultPerturb(opts.PerturbSeed)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"delorean/internal/isa"
+	"delorean/internal/mem"
 	"delorean/internal/sim"
 )
 
@@ -15,14 +16,49 @@ import (
 // deliberately not pooled).
 func BenchmarkChunkStartSquash(b *testing.B) {
 	e := &Engine{Cfg: sim.Default8()}
+	co := &core{proc: 0}
+	e.cores = []*core{co}
 	var ckpt isa.ThreadState
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		c := e.newChunk(0, uint64(i), ckpt, 2000)
+		c := e.newChunk(co, uint64(i), ckpt, 2000)
 		for a := uint32(0); a < 64; a++ {
 			c.NoteRead(a)
 			c.Write(a<<5, uint64(a))
 		}
 		e.releaseChunk(c)
 	}
+}
+
+// BenchmarkEngineRun measures one whole Engine.Run on a 4-processor
+// ~20k-iteration mixed workload (contended lock, atomic counter, private
+// store stream) — the unit the intra-run parallel scheduler is meant to
+// speed up. The seq/par4 pair tracks the scheduler's scaling in
+// `go test -bench` without needing the experiment harness.
+func BenchmarkEngineRun(b *testing.B) {
+	bench := func(parallel int) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := sim.Default8()
+			cfg.NProcs = 4
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := &Engine{
+					Cfg: cfg,
+					Progs: []*isa.Program{
+						lockIncProgram(0x1000, 0x2000, 5000),
+						lockIncProgram(0x1000, 0x2000, 5000),
+						atomicIncProgram(0x3000, 20000),
+						storeStream(0x8000, 20000),
+					},
+					Mem:      mem.New(),
+					Parallel: parallel,
+				}
+				if st := e.Run(); !st.Converged {
+					b.Fatalf("engine did not converge")
+				}
+			}
+		}
+	}
+	b.Run("seq", bench(1))
+	b.Run("par4", bench(4))
 }

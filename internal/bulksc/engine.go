@@ -48,16 +48,31 @@ type Engine struct {
 	// Resume starts the engine from a checkpoint instead of the
 	// programs' entry points (interval replay).
 	Resume *Resume
+	// Parallel sets the intra-run worker count: between two consecutive
+	// global events (arbiter activity, DMA arrival, uncached I/O), all
+	// runnable cores advance concurrently up to the next global-event
+	// horizon, and their produced events merge back deterministically.
+	// 0 or 1 selects the sequential reference scheduler; every worker
+	// count produces byte-identical Stats, logs and observer streams.
+	Parallel int
 
 	arb    *arbiter.Arbiter
 	ms     *sim.MemSys
 	cores  []*core
 	events eventHeap
-	free   []chunk.Storage // retired chunks' interior buffers, for reuse
 	stats  Stats
-	prng   *rng.Source
-	trng   *rng.Source
 	now    uint64 // current global event time (monotone)
+
+	// parMode marks a Parallel>1 run: core wake-ups live in per-core
+	// (wake, wakeOK) fields instead of the event heap, which then carries
+	// only global events. inWindow is set while cores advance on worker
+	// goroutines; engine-global side effects (heap pushes, squash
+	// notifications) buffer per-core and flush at the window barrier.
+	parMode  bool
+	inWindow bool
+	elig     []*core       // scratch: the current window's eligible cores
+	noteBuf  []pendingNote // scratch: squash notes gathered at the barrier
+	winStats WindowStats   // barrier-frequency diagnostics (parallel runs)
 
 	doneCores      int
 	lastCkptAt     uint64
@@ -65,7 +80,6 @@ type Engine struct {
 	dmaQueuedIdx   int  // record mode: next device DMA to schedule
 	replayDMAOpen  bool // replay: a DMA request is queued at the arbiter
 	lastCommitTime uint64
-	totalExec      uint64
 }
 
 type tentIntr struct {
@@ -119,12 +133,41 @@ type core struct {
 
 	lastReqArrive uint64 // commit requests leave the core in chunk order
 
+	// Per-core resources that would otherwise couple concurrently
+	// advancing cores: the chunk-storage free list, the perturbation and
+	// random-truncation streams (seeded per processor so draw order is
+	// independent of cross-core interleaving), and the executed-
+	// instruction counter.
+	free []chunk.Storage
+	prng *rng.Source
+	trng *rng.Source
+	exec uint64
+
+	// Parallel-mode scheduling state: the core's next step time (wake,
+	// valid while wakeOK) replaces its event-heap entries, and the
+	// buffers below hold side effects produced inside a window until the
+	// barrier merges them deterministically.
+	wake      uint64
+	wakeOK    bool
+	outEvents []event
+	notes     []pendingNote
+
 	useful     uint64
 	wasted     uint64
 	memOps     uint64
 	chunksDone uint64
 	squashes   uint64
 	slotStall  uint64
+}
+
+// pendingNote is a squash-self notification produced inside a parallel
+// window, flushed at the barrier in (time, proc) order — exactly the
+// order the sequential scheduler would have emitted it in.
+type pendingNote struct {
+	time  uint64
+	proc  int
+	seq   uint64
+	insts int
 }
 
 // Event kinds, in same-time priority order.
@@ -207,22 +250,26 @@ func (h *eventHeap) pop() event {
 
 func (e *Engine) push(ev event) { e.events.push(ev) }
 
-// newChunk starts a chunk, reusing a retired chunk's interior buffers
-// when available.
-func (e *Engine) newChunk(proc int, seqID uint64, ckpt isa.ThreadState, target int) *chunk.Chunk {
-	if n := len(e.free); n > 0 {
-		st := e.free[n-1]
-		e.free = e.free[:n-1]
-		return chunk.NewWith(st, proc, seqID, ckpt, target)
+// newChunk starts a chunk for co, reusing a retired chunk's interior
+// buffers when available. The free list is per-core so chunk turnover on
+// concurrently advancing cores never contends (and recycling order stays
+// independent of cross-core interleaving).
+func (e *Engine) newChunk(co *core, seqID uint64, ckpt isa.ThreadState, target int) *chunk.Chunk {
+	if n := len(co.free); n > 0 {
+		st := co.free[n-1]
+		co.free = co.free[:n-1]
+		return chunk.NewWith(st, co.proc, seqID, ckpt, target)
 	}
-	return chunk.New(proc, seqID, ckpt, target)
+	return chunk.New(co.proc, seqID, ckpt, target)
 }
 
 // releaseChunk reclaims a retired (committed, squashed or abandoned)
-// chunk's interior buffers. The chunk object itself is left alone:
-// stale events and arbiter bookkeeping may still compare its pointer.
+// chunk's interior buffers into its core's free list. The chunk object
+// itself is left alone: stale events and arbiter bookkeeping may still
+// compare its pointer.
 func (e *Engine) releaseChunk(c *chunk.Chunk) {
-	e.free = append(e.free, c.TakeStorage())
+	co := e.cores[c.Proc]
+	co.free = append(co.free, c.TakeStorage())
 }
 
 // Run executes the machine to completion and returns statistics.
@@ -239,12 +286,7 @@ func (e *Engine) Run() Stats {
 	if e.Policy == nil {
 		e.Policy = arbiter.FreeOrder{}
 	}
-	if e.Perturb != nil {
-		e.prng = rng.New(e.Perturb.Seed)
-	}
-	if e.RandomTrunc != nil {
-		e.trng = rng.New(e.RandomTrunc.Seed)
-	}
+	e.parMode = e.Parallel > 1 && e.Cfg.NProcs > 1
 	e.arb = arbiter.New(e.Cfg.ArbLat, e.Cfg.CommitDur, e.Cfg.MaxConcurCommits, e.Policy)
 	e.arb.Exact = e.ExactConflicts
 	e.ms = sim.NewMemSys(&e.Cfg)
@@ -257,6 +299,16 @@ func (e *Engine) Run() Stats {
 		co := &core{proc: p, prog: e.Progs[p], tm: sim.NewCoreTiming(&e.Cfg)}
 		co.ts.Reg[15] = int64(p)
 		co.ts.Reg[14] = int64(e.Cfg.NProcs)
+		// Per-core random streams: deriving each from (seed, proc) keeps
+		// draw order a function of the core's own execution, not of how
+		// cores interleave — the same sequence whether the scheduler is
+		// sequential or windowed.
+		if e.Perturb != nil {
+			co.prng = rng.New(procStream(e.Perturb.Seed, p))
+		}
+		if e.RandomTrunc != nil {
+			co.trng = rng.New(procStream(e.RandomTrunc.Seed, p))
+		}
 		if e.Resume != nil {
 			pc := e.Resume.Procs[p]
 			co.ts = pc.State
@@ -274,7 +326,11 @@ func (e *Engine) Run() Stats {
 		}
 		e.cores = append(e.cores, co)
 		if !co.haltDone {
-			e.push(event{time: 0, kind: evCore, id: p})
+			if e.parMode {
+				co.wake, co.wakeOK = 0, true
+			} else {
+				e.push(event{time: 0, kind: evCore, id: p})
+			}
 		}
 	}
 	if e.Replay == nil {
@@ -288,7 +344,31 @@ func (e *Engine) Run() Stats {
 		budget = 100_000_000
 	}
 
-	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && e.totalExec < budget {
+	if e.parMode {
+		e.runParallel(budget)
+	} else {
+		e.runSequential(budget)
+	}
+
+	e.finishStats(budget)
+	return e.stats
+}
+
+// execCount sums executed instructions (useful and squashed) across
+// cores. Kept per-core so concurrently advancing cores never share a
+// counter; the sum is cheap next to processing an event.
+func (e *Engine) execCount() uint64 {
+	var n uint64
+	for _, co := range e.cores {
+		n += co.exec
+	}
+	return n
+}
+
+// runSequential is the reference scheduler: one global event heap, one
+// event at a time, in (time, kind, id, epoch) order.
+func (e *Engine) runSequential(budget uint64) {
+	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && e.execCount() < budget {
 		ev := e.events.pop()
 		if ev.time < e.now {
 			panic("bulksc: event time regressed")
@@ -315,9 +395,12 @@ func (e *Engine) Run() Stats {
 			e.stepCore(co)
 		}
 	}
+}
 
-	e.finishStats(budget)
-	return e.stats
+// procStream derives a per-processor seed from a run seed (SplitMix64's
+// increment keeps distinct processors' streams disjoint in practice).
+func procStream(seed uint64, p int) uint64 {
+	return seed + 0x9e3779b97f4a7c15*uint64(p+1)
 }
 
 func (e *Engine) finishStats(budget uint64) {
@@ -347,7 +430,7 @@ func (e *Engine) finishStats(budget uint64) {
 	// Interconnect traffic proxy: line transfers for every off-core
 	// access, plus signature+grant exchange per commit, plus squash
 	// control and refetch traffic.
-	lineMsgs := e.ms.L2Hits + e.ms.MemAccesses + e.ms.C2CTransfers + e.ms.Upgrades
+	lineMsgs := e.ms.TotalL2Hits() + e.ms.TotalMemAccesses() + e.ms.TotalC2CTransfers() + e.ms.TotalUpgrades()
 	s.TrafficBytes += lineMsgs * (isa.LineBytes + 8)
 	s.TrafficBytes += s.Chunks * (signature.Bits/8 + 16)
 	s.TrafficBytes += s.Squashes * 64
@@ -358,6 +441,13 @@ func (e *Engine) finishStats(budget uint64) {
 
 func (e *Engine) reschedule(co *core) {
 	if co.blocked != notBlocked || co.haltDone {
+		return
+	}
+	if e.parMode {
+		// Parallel mode keeps core wake-ups out of the heap: the core's
+		// next step time lives in the core itself, so windows can advance
+		// cores without touching shared structures.
+		co.wake, co.wakeOK = co.tm.Clock, true
 		return
 	}
 	e.push(event{time: co.tm.Clock, kind: evCore, id: co.proc, epoch: co.epoch})
@@ -412,7 +502,7 @@ func (e *Engine) stepCore(co *core) {
 	n, pend := isa.RunToMemOpTimed(&co.ts, co.prog, limit, co.tm.RegReady())
 	co.tm.ChargeALU(n)
 	c.Insts += n
-	e.totalExec += uint64(n)
+	co.exec += uint64(n)
 
 	if pend == nil {
 		if c.Insts >= c.Target {
@@ -430,7 +520,7 @@ func (e *Engine) stepCore(co *core) {
 		co.ts.Halted = true
 		co.tm.Seq++
 		c.Insts++
-		e.totalExec++
+		co.exec++
 		e.completeChunk(co, chunk.Halt)
 
 	case isa.FENCE:
@@ -439,7 +529,7 @@ func (e *Engine) stepCore(co *core) {
 		co.ts.PC++
 		co.tm.Seq++
 		c.Insts++
-		e.totalExec++
+		co.exec++
 		if c.Insts >= c.Target {
 			e.completeChunk(co, c.BudgetReason)
 		}
@@ -486,8 +576,8 @@ func (co *core) lookupBuffers(addr uint32) (uint64, bool) {
 	return 0, false
 }
 
-func (e *Engine) flipLat(lat uint64) uint64 {
-	if e.Perturb == nil || e.Perturb.FlipProb == 0 || !e.prng.Bool(e.Perturb.FlipProb) {
+func (e *Engine) flipLat(co *core, lat uint64) uint64 {
+	if e.Perturb == nil || e.Perturb.FlipProb == 0 || !co.prng.Bool(e.Perturb.FlipProb) {
 		return lat
 	}
 	if lat == e.Cfg.L1Lat {
@@ -506,14 +596,18 @@ func (e *Engine) chunkLoad(co *core, in *isa.Inst) {
 		lat = e.Cfg.L1Lat // store-buffer forwarding
 	} else {
 		val = e.Mem.Load(addr)
-		lat = e.flipLat(e.ms.Load(co.proc, line))
+		specLat, fill := e.ms.SpecLoad(co.proc, line)
+		if fill != sim.FillNone {
+			co.cur.NoteFill(line, uint8(fill))
+		}
+		lat = e.flipLat(co, specLat)
 	}
 	co.cur.NoteRead(line)
 	co.tm.LoadOp(lat, lat == e.Cfg.L1Lat, false, in.Rd)
 	in.Complete(&co.ts, val)
 	co.cur.Insts++
 	co.memOps++
-	e.totalExec++
+	co.exec++
 }
 
 // chunkStore executes a store-class instruction into the chunk's write
@@ -564,7 +658,11 @@ func (e *Engine) chunkStore(co *core, in *isa.Inst) bool {
 	}
 	c.Write(addr, in.NewValue(&co.ts, old))
 
-	lat := e.flipLat(e.ms.SpecStore(co.proc, line))
+	specLat, fill := e.ms.SpecStore(co.proc, line)
+	if fill != sim.FillNone {
+		c.NoteFill(line, uint8(fill))
+	}
+	lat := e.flipLat(co, specLat)
 	if isRMW {
 		co.tm.LoadOp(lat, lat == e.Cfg.L1Lat, false, in.Rd)
 	} else {
@@ -573,7 +671,7 @@ func (e *Engine) chunkStore(co *core, in *isa.Inst) bool {
 	in.Complete(&co.ts, old)
 	c.Insts++
 	co.memOps++
-	e.totalExec++
+	co.exec++
 	return true
 }
 
@@ -625,8 +723,8 @@ func (e *Engine) completeChunk(co *core, reason chunk.TruncReason) {
 
 	ready := co.tm.CompletionHorizon()
 	arrive := ready + e.Cfg.ArbLat
-	if e.Perturb != nil && e.Perturb.StallProb > 0 && e.prng.Bool(e.Perturb.StallProb) {
-		arrive += e.Perturb.StallMin + uint64(e.prng.Intn(int(e.Perturb.StallMax-e.Perturb.StallMin+1)))
+	if e.Perturb != nil && e.Perturb.StallProb > 0 && co.prng.Bool(e.Perturb.StallProb) {
+		arrive += e.Perturb.StallMin + uint64(co.prng.Intn(int(e.Perturb.StallMax-e.Perturb.StallMin+1)))
 	}
 	// A processor sends its commit requests in chunk order: a younger
 	// cache-hot chunk must not reach the arbiter before an older chunk
@@ -646,7 +744,17 @@ func (e *Engine) completeChunk(co *core, reason chunk.TruncReason) {
 		Split:  c.SplitPiece,
 		Tag:    c,
 	}
-	e.push(event{time: arrive, kind: evSubmit, id: co.proc, req: req})
+	ev := event{time: arrive, kind: evSubmit, id: co.proc, req: req}
+	if e.inWindow {
+		// Inside a parallel window the heap is shared: buffer the submit
+		// on the core and merge it at the barrier. Per-core arrival times
+		// are strictly increasing, and the heap orders distinct
+		// (time, id) keys identically however they are pushed, so the
+		// merged schedule matches the sequential one exactly.
+		co.outEvents = append(co.outEvents, ev)
+		return
+	}
+	e.push(ev)
 }
 
 // ---- chunk lifecycle ----
@@ -668,8 +776,15 @@ func (e *Engine) squashSelfForInterrupt(co *core) {
 	c := co.cur
 	co.wasted += uint64(c.Insts)
 	co.squashes++
-	e.stats.Squashes++
-	e.Obs.OnSquash(co.proc, c.SeqID, c.Insts, co.proc)
+	if e.inWindow {
+		// Engine-global stats and observer calls are serial-side state:
+		// buffer the notification and flush it at the window barrier in
+		// (time, proc) order — the sequential emission order.
+		co.notes = append(co.notes, pendingNote{time: co.tm.Clock, proc: co.proc, seq: c.SeqID, insts: c.Insts})
+	} else {
+		e.stats.Squashes++
+		e.Obs.OnSquash(co.proc, c.SeqID, c.Insts, co.proc)
+	}
 	co.chunks = co.chunks[:len(co.chunks)-1]
 	co.cur = nil
 	co.ts = c.Checkpoint
@@ -701,7 +816,7 @@ func (e *Engine) startChunk(co *core) bool {
 
 	var nc *chunk.Chunk
 	if co.splitRemain > 0 {
-		nc = e.newChunk(co.proc, co.splitSeq, co.ts, co.splitRemain)
+		nc = e.newChunk(co, co.splitSeq, co.ts, co.splitRemain)
 		nc.SplitPiece = true
 		nc.BudgetReason = co.splitBudget
 		nc.IOAtStart = co.ioCount
@@ -720,10 +835,10 @@ func (e *Engine) startChunk(co *core) bool {
 				target = sz
 				budget = chunk.CSReplay
 			}
-		} else if e.trng != nil && e.trng.Bool(e.RandomTrunc.Prob) {
-			target = 1 + e.trng.Intn(e.Cfg.ChunkSize)
+		} else if co.trng != nil && co.trng.Bool(e.RandomTrunc.Prob) {
+			target = 1 + co.trng.Intn(e.Cfg.ChunkSize)
 		}
-		nc = e.newChunk(co.proc, seq, co.ts, target)
+		nc = e.newChunk(co, seq, co.ts, target)
 		nc.BudgetReason = budget
 		nc.IOAtStart = co.ioCount
 		nc.Urgent = co.ts.InIntr && co.ts.IntrUrgent
@@ -790,7 +905,7 @@ func (e *Engine) execIO(co *core) {
 	}
 	in.Complete(&co.ts, v)
 	co.useful++
-	e.totalExec++
+	co.exec++
 	e.stats.IOOps++
 }
 
@@ -922,6 +1037,12 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 			h = fnvByte(h, byte(v>>k))
 		}
 	})
+	// Replay the chunk's journaled speculative fills (L2 installs,
+	// directory transitions) in access order, then make its writes
+	// globally visible. Squashed chunks' journals are simply dropped.
+	for _, f := range c.Fills() {
+		e.ms.ApplyFill(c.Proc, f.Line, sim.FillKind(f.Kind))
+	}
 	for _, l := range c.WLines() {
 		e.ms.CommitLine(c.Proc, l)
 	}
@@ -1083,7 +1204,7 @@ func (e *Engine) squashFrom(co *core, idx int, committer int) {
 		target /= 2
 		budget = chunk.Collision
 	}
-	nc := e.newChunk(co.proc, victim.SeqID, co.ts, target)
+	nc := e.newChunk(co, victim.SeqID, co.ts, target)
 	nc.Restarts = restarts
 	nc.Urgent = victim.Urgent
 	nc.SplitPiece = victim.SplitPiece
@@ -1121,7 +1242,7 @@ func (e *Engine) chunkAlive(c *chunk.Chunk) bool {
 // far each chunk sequence has progressed).
 func (e *Engine) DebugState() string {
 	s := fmt.Sprintf("t=%d commits=%d pending=%d inflight=%d exec=%d\n",
-		e.now, e.arb.GlobalCommits(), e.arb.Pending(), e.arb.InFlight(), e.totalExec)
+		e.now, e.arb.GlobalCommits(), e.arb.Pending(), e.arb.InFlight(), e.execCount())
 	if head, ok := e.Policy.Head(e.arb.GlobalCommits()); ok {
 		s += fmt.Sprintf("policy head: proc %d\n", head)
 	}

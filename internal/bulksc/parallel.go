@@ -1,0 +1,325 @@
+package bulksc
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"delorean/internal/chunk"
+)
+
+// Parallel intra-run scheduler.
+//
+// The BulkSC substrate makes single simulations parallelizable: chunks
+// execute atomically and in isolation, interacting only through arbiter
+// commits, DMA arrivals and uncached I/O — the *global* events. Between
+// two consecutive global events each core's execution (interpretation,
+// L1 timing, store buffering, signature updates) depends only on
+// committed memory plus per-core state, so all runnable cores can
+// advance concurrently up to the next global-event horizon and merge
+// their produced events back deterministically.
+//
+// The horizon is conservative. With cmin the earliest runnable core
+// wake-up and gmin the earliest pending global event, cores advance
+// strictly below
+//
+//	T = min(gmin, cmin + ArbLat)
+//
+// which is safe because a core stepping at time t >= cmin can only
+// create new global events at or after t + ArbLat >= cmin + ArbLat
+// (every commit request takes ArbLat to reach the arbiter, and arrival
+// times are additionally clamped monotone per core), and events already
+// pending are at gmin or later. Every core event before T therefore has
+// no global event — hence no cross-core interaction — ordered before
+// it, and the window replays the sequential schedule exactly. When no
+// window opens (cmin >= T, e.g. a global event is due first, or
+// ArbLat == 0), exactly one event is processed serially in the
+// sequential (time, kind, id) order.
+//
+// Determinism inside a window comes from cores sharing nothing: memory
+// reads hit the frozen committed image (internal/mem is read-only
+// between commits), cache timing uses per-core L1s plus probe-only
+// reads of the frozen L2/directory (sim.SpecLoad/SpecStore journal
+// their shared-state transitions for commit time), and RNG streams,
+// chunk pools and counters are per-core. Submit requests and squash
+// notifications buffer per-core and flush at the window barrier in the
+// sequential order — by strictly increasing per-core arrival time for
+// submits (the heap interleaves cores by (time, proc)) and by
+// (time, proc) for squash notes.
+func (e *Engine) runParallel(budget uint64) {
+	pool := newCorePool(e, e.Parallel)
+	defer pool.close()
+	margin := e.windowMargin()
+	const inf = ^uint64(0)
+
+	for e.doneCores < e.Cfg.NProcs {
+		exec := e.execCount()
+		if exec >= budget {
+			return
+		}
+		gmin, cmin := inf, inf
+		if e.events.Len() > 0 {
+			gmin = e.events[0].time
+		}
+		for _, co := range e.cores {
+			if !co.wakeOK || co.blocked != notBlocked || co.haltDone {
+				continue
+			}
+			if co.pendingIO != nil && len(co.chunks) == 0 {
+				// The core's next step runs an uncached I/O access against
+				// the device models — a global event; it anchors the
+				// horizon and executes serially.
+				if co.wake < gmin {
+					gmin = co.wake
+				}
+			} else if co.wake < cmin {
+				cmin = co.wake
+			}
+		}
+		if gmin == inf && cmin == inf {
+			return // no events, no runnable cores (mirrors heap exhaustion)
+		}
+		horizon := gmin
+		if cmin != inf && cmin+e.Cfg.ArbLat < horizon {
+			horizon = cmin + e.Cfg.ArbLat
+		}
+		if cmin < horizon && exec+margin <= budget {
+			e.runWindow(pool, horizon)
+			continue
+		}
+		// Near the instruction budget the window's execution bound no
+		// longer fits: fall back to exact serial stepping so the run
+		// stops at precisely the same instruction as the sequential
+		// scheduler.
+		e.serialStep()
+		e.winStats.SerialEvents++
+	}
+}
+
+// WindowStats describes how the parallel scheduler spent a run — barrier
+// frequency diagnostics. Deliberately NOT part of Stats: Stats must be
+// byte-identical between the sequential and parallel schedulers, and the
+// sequential scheduler runs no windows.
+type WindowStats struct {
+	// Windows is the number of parallel windows executed (each ends in
+	// one merge barrier).
+	Windows uint64
+	// EligibleCores sums the eligible-core count over all windows;
+	// EligibleCores/Windows is the mean fan-out per barrier.
+	EligibleCores uint64
+	// SerialEvents counts global events processed one at a time between
+	// windows (arbiter commits, DMA, I/O, budget-tail steps).
+	SerialEvents uint64
+}
+
+// WindowStats reports the parallel scheduler's barrier statistics for
+// the last Run (all zero after a sequential run).
+func (e *Engine) WindowStats() WindowStats { return e.winStats }
+
+// windowMargin bounds the instructions one window can execute. Each
+// eligible core advances at most ArbLat cycles past the earliest wake,
+// during which it can complete at most SimulChunks in-flight chunk
+// budgets, restart after at most ArbLat/SquashPenalty interrupt
+// squashes, and run ROB-bounded load bursts; the ×2 is headroom.
+func (e *Engine) windowMargin() uint64 {
+	perCore := uint64(e.Cfg.SimulChunks+4)*uint64(e.Cfg.ChunkSize) + uint64(e.Cfg.ROB) + 4096
+	return uint64(e.Cfg.NProcs) * perCore * 2
+}
+
+// runWindow advances every eligible core to the horizon on the worker
+// pool, then merges the buffered side effects deterministically.
+func (e *Engine) runWindow(pool *corePool, horizon uint64) {
+	elig := e.elig[:0]
+	for _, co := range e.cores {
+		if co.wakeOK && co.blocked == notBlocked && !co.haltDone &&
+			!(co.pendingIO != nil && len(co.chunks) == 0) && co.wake < horizon {
+			elig = append(elig, co)
+		}
+	}
+	e.elig = elig
+	e.winStats.Windows++
+	e.winStats.EligibleCores += uint64(len(elig))
+
+	e.inWindow = true
+	if len(elig) == 1 {
+		e.advanceCore(elig[0], horizon)
+	} else {
+		pool.run(elig, horizon)
+	}
+	e.inWindow = false
+
+	// Merge buffered commit-request submissions. Per core they carry
+	// strictly increasing arrival times, and (arrive, proc) keys are
+	// unique across cores, so heap order — hence the pop schedule — is
+	// independent of push order and identical to the sequential run's.
+	for _, co := range elig {
+		for i := range co.outEvents {
+			e.events.push(co.outEvents[i])
+			co.outEvents[i] = event{}
+		}
+		co.outEvents = co.outEvents[:0]
+	}
+	// Flush buffered squash-self notifications in (time, proc) order —
+	// the order the sequential scheduler interleaves core steps. Times
+	// are strictly increasing per core (each squash advances the clock
+	// by SquashPenalty), so the key is unique and the sort total.
+	notes := e.noteBuf[:0]
+	for _, co := range elig {
+		notes = append(notes, co.notes...)
+		co.notes = co.notes[:0]
+	}
+	if len(notes) > 0 {
+		sort.Slice(notes, func(i, j int) bool {
+			if notes[i].time != notes[j].time {
+				return notes[i].time < notes[j].time
+			}
+			return notes[i].proc < notes[j].proc
+		})
+		for _, n := range notes {
+			e.stats.Squashes++
+			e.Obs.OnSquash(n.proc, n.seq, n.insts, n.proc)
+		}
+	}
+	e.noteBuf = notes[:0]
+}
+
+// advanceCore steps one core until it reaches the horizon, blocks, or
+// hits a serial-only boundary (an uncached I/O access with no chunks in
+// flight). Runs on a worker goroutine inside a window: it must touch
+// only co's state, the frozen committed memory, and the per-processor
+// slices of the memory system.
+func (e *Engine) advanceCore(co *core, horizon uint64) {
+	for co.wakeOK && co.wake < horizon {
+		if co.pendingIO != nil && len(co.chunks) == 0 {
+			return // device access: a global event, handled serially
+		}
+		co.wakeOK = false
+		e.stepCore(co) // re-arms wakeOK via reschedule unless the core blocked
+	}
+}
+
+// serialStep processes exactly one event — the earliest of the heap's
+// global events and the cores' wake-ups, in the sequential scheduler's
+// (time, kind, id) order.
+func (e *Engine) serialStep() {
+	const inf = ^uint64(0)
+	bestTime, bestKind, bestID := inf, uint8(0xff), 0
+	if e.events.Len() > 0 {
+		top := e.events[0]
+		bestTime, bestKind, bestID = top.time, top.kind, top.id
+	}
+	var bestCore *core
+	for _, co := range e.cores {
+		if !co.wakeOK || co.blocked != notBlocked || co.haltDone {
+			continue
+		}
+		if co.wake < bestTime ||
+			(co.wake == bestTime && (evCore < bestKind || (evCore == bestKind && co.proc < bestID))) {
+			bestTime, bestKind, bestID, bestCore = co.wake, evCore, co.proc, co
+		}
+	}
+	if bestCore != nil {
+		if bestTime < e.now {
+			panic("bulksc: event time regressed")
+		}
+		e.now = bestTime
+		bestCore.wakeOK = false
+		e.stepCore(bestCore)
+		return
+	}
+	ev := e.events.pop()
+	if ev.time < e.now {
+		panic("bulksc: event time regressed")
+	}
+	e.now = ev.time
+	switch ev.kind {
+	case evDMA:
+		e.recordDMAArrival(ev.id)
+	case evSubmit:
+		// The chunk may have been squashed between completion and this
+		// request's arrival at the arbiter; drop stale requests.
+		if c, isChunk := ev.req.Tag.(*chunk.Chunk); isChunk && !e.chunkAlive(c) {
+			return
+		}
+		e.arb.Submit(e.now, ev.req)
+		e.drainArbiter()
+	case evArb:
+		e.drainArbiter()
+	}
+}
+
+// corePool is a persistent worker pool for window execution: n-1 parked
+// goroutines plus the coordinating goroutine drain a shared index into
+// the eligible-core slice. Memory ordering: the coordinator's writes to
+// the window fields happen-before the workers' reads via the start
+// channel sends, and the workers' core mutations happen-before the
+// coordinator's barrier reads via the done channel.
+type corePool struct {
+	e       *Engine
+	spawned int
+	elig    []*core
+	horizon uint64
+	next    atomic.Int64
+	start   chan struct{}
+	done    chan struct{}
+	quit    chan struct{}
+}
+
+func newCorePool(e *Engine, workers int) *corePool {
+	if workers > e.Cfg.NProcs {
+		workers = e.Cfg.NProcs
+	}
+	p := &corePool{
+		e:     e,
+		start: make(chan struct{}),
+		done:  make(chan struct{}),
+		quit:  make(chan struct{}),
+	}
+	p.spawned = workers - 1
+	for i := 0; i < p.spawned; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *corePool) worker() {
+	for {
+		select {
+		case <-p.start:
+			p.drain()
+			p.done <- struct{}{}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func (p *corePool) drain() {
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= len(p.elig) {
+			return
+		}
+		p.e.advanceCore(p.elig[i], p.horizon)
+	}
+}
+
+// run advances elig concurrently to the horizon and returns after every
+// core has stopped (the window barrier).
+func (p *corePool) run(elig []*core, horizon uint64) {
+	p.elig, p.horizon = elig, horizon
+	p.next.Store(0)
+	helpers := p.spawned
+	if helpers > len(elig)-1 {
+		helpers = len(elig) - 1
+	}
+	for i := 0; i < helpers; i++ {
+		p.start <- struct{}{}
+	}
+	p.drain()
+	for i := 0; i < helpers; i++ {
+		<-p.done
+	}
+	p.elig = nil
+}
+
+func (p *corePool) close() { close(p.quit) }

@@ -1,0 +1,266 @@
+package bulksc
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"delorean/internal/arbiter"
+	"delorean/internal/device"
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/rng"
+)
+
+// traceObs serializes every observer callback into one text stream; two
+// engine runs are equivalent iff their streams are byte-identical.
+type traceObs struct {
+	b strings.Builder
+}
+
+func (o *traceObs) OnCommit(ev CommitEvent) {
+	fmt.Fprintf(&o.b, "C p%d s%d n%d t%d slot%d r%d u%v sp%v h%016x R%x W%x\n",
+		ev.Proc, ev.SeqID, ev.Size, ev.Time, ev.Slot, ev.Reason, ev.Urgent, ev.Split,
+		ev.StoreHash, *ev.RSig, *ev.WSig)
+}
+
+func (o *traceObs) OnSquash(proc int, seqID uint64, insts int, committer int) {
+	fmt.Fprintf(&o.b, "S p%d s%d n%d by%d\n", proc, seqID, insts, committer)
+}
+
+func (o *traceObs) OnInterrupt(proc int, handlerSeq uint64, typ, data int64, urgent bool) {
+	fmt.Fprintf(&o.b, "I p%d s%d t%d d%d u%v\n", proc, handlerSeq, typ, data, urgent)
+}
+
+func (o *traceObs) OnIORead(proc int, port int64, value uint64) {
+	fmt.Fprintf(&o.b, "R p%d port%d v%d\n", proc, port, value)
+}
+
+func (o *traceObs) OnDMACommit(slot uint64, addr uint32, data []uint64) {
+	fmt.Fprintf(&o.b, "D slot%d a%d %v\n", slot, addr, data)
+}
+
+// devProgram is an interrupt-driven program: a work/I/O main loop plus a
+// handler, so interrupt delivery, high-priority squashes and uncached
+// accesses all interleave with chunk commits.
+func devProgram(flagAddr uint32, iters int) *isa.Program {
+	a := isa.NewAsm()
+	a.SetIntrVec("ih")
+	a.Ldi(1, int64(flagAddr))
+	a.Ldi(3, 0)
+	a.Ldi(4, int64(iters))
+	a.Label("loop")
+	a.Work(60, 9)
+	a.Iord(5, 7)
+	a.St(1, 0, 5)
+	a.Addi(3, 3, 1)
+	a.Blt(3, 4, "loop")
+	a.Halt()
+	a.Label("ih")
+	a.Ldi(6, int64(flagAddr)+64)
+	a.Ldi(7, 1)
+	a.St(6, 0, 7)
+	a.Iret()
+	return a.Assemble()
+}
+
+// parScenario builds a fresh engine for a given worker count; every
+// scenario must produce byte-identical results at any count.
+type parScenario struct {
+	name  string
+	build func(parallel int) *Engine
+}
+
+func parScenarios() []parScenario {
+	return []parScenario{
+		{name: "lock-contended-4p", build: func(par int) *Engine {
+			cfg := testConfig(4)
+			cfg.ChunkSize = 150
+			progs := make([]*isa.Program, 4)
+			for p := range progs {
+				progs[p] = lockIncProgram(8, 16, 80)
+			}
+			return &Engine{Cfg: cfg, Progs: progs, Parallel: par}
+		}},
+		{name: "mixed-8p", build: func(par int) *Engine {
+			cfg := testConfig(8)
+			progs := []*isa.Program{
+				lockIncProgram(8, 16, 60),
+				lockIncProgram(8, 16, 60),
+				atomicIncProgram(0x3000, 4000),
+				atomicIncProgram(0x3000, 4000),
+				storeStream(0x8000, 4000),
+				storeStream(0x20000, 4000),
+				lockIncProgram(0x4000, 0x4100, 60),
+				atomicIncProgram(0x5000, 4000),
+			}
+			return &Engine{Cfg: cfg, Progs: progs, Parallel: par}
+		}},
+		{name: "perturb-trunc-4p", build: func(par int) *Engine {
+			cfg := testConfig(4)
+			cfg.ChunkSize = 200
+			progs := make([]*isa.Program, 4)
+			for p := range progs {
+				progs[p] = atomicIncProgram(64, 1500)
+			}
+			return &Engine{
+				Cfg: cfg, Progs: progs, Parallel: par,
+				Perturb:     DefaultPerturb(12345),
+				RandomTrunc: DefaultRandomTrunc(777),
+			}
+		}},
+		{name: "devices-4p", build: func(par int) *Engine {
+			cfg := testConfig(4)
+			cfg.ChunkSize = 120
+			devs := device.New(9)
+			devs.GenerateInterrupts(rng.New(42), 4, 4000, 200_000, 0.3)
+			devs.GenerateDMA(rng.New(43), 0x40000, 6, 8, 9000, 120_000)
+			devs.Finalize()
+			progs := make([]*isa.Program, 4)
+			for p := range progs {
+				progs[p] = devProgram(uint32(0x6000+0x100*p), 25)
+			}
+			return &Engine{Cfg: cfg, Progs: progs, Devs: devs, Parallel: par}
+		}},
+		{name: "picolog-4p", build: func(par int) *Engine {
+			cfg := testConfig(4)
+			cfg.ChunkSize = 150
+			progs := make([]*isa.Program, 4)
+			for p := range progs {
+				progs[p] = lockIncProgram(8, 16, 60)
+			}
+			return &Engine{
+				Cfg: cfg, Progs: progs, Parallel: par,
+				Policy: arbiter.NewRoundRobin(4), PicoLog: true,
+			}
+		}},
+		{name: "exact-conflicts-4p", build: func(par int) *Engine {
+			cfg := testConfig(4)
+			cfg.ChunkSize = 150
+			progs := make([]*isa.Program, 4)
+			for p := range progs {
+				progs[p] = lockIncProgram(8, 16, 60)
+			}
+			return &Engine{Cfg: cfg, Progs: progs, Parallel: par, ExactConflicts: true}
+		}},
+	}
+}
+
+// runScenario executes one engine build and returns everything the
+// parallel scheduler must reproduce bit-exactly: stats, the full
+// observer stream (with checkpoints appended), and the final memory.
+func runScenario(t *testing.T, s parScenario, parallel int) (Stats, string, uint64) {
+	t.Helper()
+	e := s.build(parallel)
+	obs := &traceObs{}
+	e.Obs = obs
+	e.Mem = mem.New()
+	e.CheckpointEvery = 40
+	e.OnCheckpoint = func(cp Checkpoint) {
+		fmt.Fprintf(&obs.b, "K %+v\n", cp) // map fields print sorted
+	}
+	st := e.Run()
+	if !st.Converged {
+		t.Fatalf("%s parallel=%d did not converge", s.name, parallel)
+	}
+	return st, obs.b.String(), e.Mem.Hash()
+}
+
+// TestParallelByteIdenticalEngine pins the tentpole guarantee at the
+// engine level: for every scenario, every worker count produces Stats,
+// observer streams, checkpoints and memory identical to the sequential
+// reference scheduler.
+func TestParallelByteIdenticalEngine(t *testing.T) {
+	for _, s := range parScenarios() {
+		t.Run(s.name, func(t *testing.T) {
+			refStats, refTrace, refMem := runScenario(t, s, 1)
+			for _, par := range []int{2, 3, 8} {
+				st, trace, memHash := runScenario(t, s, par)
+				if !reflect.DeepEqual(st, refStats) {
+					t.Errorf("parallel=%d Stats diverge:\nseq: %+v\npar: %+v", par, refStats, st)
+				}
+				if trace != refTrace {
+					t.Errorf("parallel=%d observer stream diverges (seq %d bytes, par %d bytes):\n%s",
+						par, len(refTrace), len(trace), firstDiff(refTrace, trace))
+				}
+				if memHash != refMem {
+					t.Errorf("parallel=%d final memory hash %016x != %016x", par, memHash, refMem)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTightBudget pins the budget tail: with MaxInsts cutting
+// the run mid-flight, the parallel scheduler must stop at exactly the
+// same instruction as the sequential one (the serial-stepping fallback
+// near the budget).
+// TestWindowStatsAccounting checks the barrier diagnostics: sequential
+// runs report nothing, parallel runs report windows whose fan-out is at
+// least one core each, and the numbers stay out of Stats (byte-identity
+// is asserted by TestParallelByteIdenticalEngine).
+func TestWindowStatsAccounting(t *testing.T) {
+	build := func(par int) *Engine {
+		e := parScenarios()[1].build(par) // mixed-8p
+		e.Mem = mem.New()
+		return e
+	}
+	seq := build(1)
+	seq.Run()
+	if ws := seq.WindowStats(); ws != (WindowStats{}) {
+		t.Fatalf("sequential scheduler reported window activity: %+v", ws)
+	}
+	par := build(4)
+	par.Run()
+	ws := par.WindowStats()
+	if ws.Windows == 0 {
+		t.Fatal("parallel scheduler opened no windows")
+	}
+	if ws.EligibleCores < ws.Windows {
+		t.Fatalf("eligible-core total %d < window count %d", ws.EligibleCores, ws.Windows)
+	}
+	t.Logf("windows=%d serial=%d mean-eligible=%.2f",
+		ws.Windows, ws.SerialEvents, float64(ws.EligibleCores)/float64(ws.Windows))
+}
+
+func TestParallelTightBudget(t *testing.T) {
+	for _, budget := range []uint64{5_000, 50_000} {
+		build := func(par int) *Engine {
+			cfg := testConfig(4)
+			cfg.ChunkSize = 150
+			cfg.MaxInsts = budget
+			progs := make([]*isa.Program, 4)
+			for p := range progs {
+				progs[p] = lockIncProgram(8, 16, 100_000)
+			}
+			return &Engine{Cfg: cfg, Progs: progs, Parallel: par, Obs: &traceObs{}, Mem: mem.New()}
+		}
+		seq := build(1)
+		seqStats := seq.Run()
+		for _, par := range []int{2, 8} {
+			e := build(par)
+			st := e.Run()
+			if !reflect.DeepEqual(st, seqStats) {
+				t.Errorf("budget=%d parallel=%d Stats diverge:\nseq: %+v\npar: %+v", budget, par, seqStats, st)
+			}
+			if e.Mem.Hash() != seq.Mem.Hash() {
+				t.Errorf("budget=%d parallel=%d memory diverges", budget, par)
+			}
+			if got, want := e.Obs.(*traceObs).b.String(), seq.Obs.(*traceObs).b.String(); got != want {
+				t.Errorf("budget=%d parallel=%d observer stream diverges:\n%s", budget, par, firstDiff(want, got))
+			}
+		}
+	}
+}
+
+// firstDiff renders the first differing line of two traces.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\nseq: %s\npar: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

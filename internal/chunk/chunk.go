@@ -88,6 +88,12 @@ type Chunk struct {
 	rLines     map[uint32]struct{}
 	wLines     []uint32 // insertion order; deduplicated
 
+	// fills journals the shared-state transitions (L2 installs, directory
+	// updates) the chunk's speculative cache fills deferred; the engine
+	// replays them serially when the chunk commits and drops them on a
+	// squash.
+	fills []Fill
+
 	// Completed marks a chunk whose execution finished and is awaiting
 	// commit. Reason records why it ended.
 	Completed bool
@@ -124,10 +130,19 @@ func New(proc int, seqID uint64, ckpt isa.ThreadState, target int) *Chunk {
 	return NewWith(Storage{}, proc, seqID, ckpt, target)
 }
 
+// Fill is one journaled speculative cache fill: the line and an engine-
+// defined kind describing which shared-state transition to apply at
+// commit (the chunk package does not interpret it).
+type Fill struct {
+	Line uint32
+	Kind uint8
+}
+
 // Storage is a chunk's reusable interior allocation: the speculative
-// write buffer and read-line set. Chunks start and die (commit or
-// squash) millions of times per run; recycling these maps through the
-// engine's free list removes the dominant per-chunk allocation cost.
+// write buffer, read-line set and fill journal. Chunks start and die
+// (commit or squash) millions of times per run; recycling these buffers
+// through the engine's free lists removes the dominant per-chunk
+// allocation cost.
 //
 // The written-line slice (WLines) is deliberately NOT part of Storage:
 // its ownership escapes the chunk — commit requests and the arbiter's
@@ -137,6 +152,7 @@ type Storage struct {
 	writes     map[uint32]uint64
 	writeOrder []uint32
 	rLines     map[uint32]struct{}
+	fills      []Fill
 }
 
 // NewWith is New drawing interior buffers from st (a retired chunk's
@@ -156,6 +172,7 @@ func NewWith(st Storage, proc int, seqID uint64, ckpt isa.ThreadState, target in
 		writes:     st.writes,
 		writeOrder: st.writeOrder,
 		rLines:     st.rLines,
+		fills:      st.fills,
 	}
 }
 
@@ -164,12 +181,21 @@ func NewWith(st Storage, proc int, seqID uint64, ckpt isa.ThreadState, target in
 // checks against stale events keep working) but must not execute or
 // buffer further accesses.
 func (c *Chunk) TakeStorage() Storage {
-	st := Storage{writes: c.writes, writeOrder: c.writeOrder[:0], rLines: c.rLines}
+	st := Storage{writes: c.writes, writeOrder: c.writeOrder[:0], rLines: c.rLines, fills: c.fills[:0]}
 	clear(st.writes)
 	clear(st.rLines)
-	c.writes, c.writeOrder, c.rLines = nil, nil, nil
+	c.writes, c.writeOrder, c.rLines, c.fills = nil, nil, nil, nil
 	return st
 }
+
+// NoteFill journals a speculative cache fill for commit-time replay.
+func (c *Chunk) NoteFill(line uint32, kind uint8) {
+	c.fills = append(c.fills, Fill{Line: line, Kind: kind})
+}
+
+// Fills returns the journaled speculative fills in access order. Callers
+// must not mutate the returned slice.
+func (c *Chunk) Fills() []Fill { return c.fills }
 
 // NoteRead records a load from line.
 func (c *Chunk) NoteRead(line uint32) {

@@ -88,6 +88,7 @@ func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.
 		Perturb:        opts.Perturb,
 		ExactConflicts: opts.ExactConflicts,
 		PicoLog:        rec.Mode == PicoLog,
+		Parallel:       opts.Parallel,
 		Resume:         &bulksc.Resume{Procs: cp.Procs, BaseCommits: cp.Slot},
 	}
 	st := eng.Run()

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/workload"
+)
+
+// TestParallelByteIdenticalRecordReplay pins the intra-run parallel
+// scheduler's determinism guarantee end to end: recording a full-system
+// workload with Parallel workers produces a byte-identical serialized
+// recording (PI commit-order log, per-processor CS/size/interrupt/I/O
+// logs, DMA and slot logs), identical Stats, fingerprint and final
+// memory, in all three modes — and replay (including perturbed and
+// interval replay) matches at every worker count.
+func TestParallelByteIdenticalRecordReplay(t *testing.T) {
+	for _, mode := range []Mode{OrderSize, OrderOnly, PicoLog} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := testConfig(4, 300)
+			record := func(par int) (*Recording, []byte) {
+				t.Helper()
+				w := workload.Get("sjbb2k", workload.Params{NProcs: 4, Scale: 8000, Seed: 11})
+				rec, err := Record(cfg, mode, w.Progs, w.InitMem(), w.Devs, RecordOptions{
+					TruncSeed:       99,
+					CheckpointEvery: 60,
+					Parallel:        par,
+				})
+				if err != nil {
+					t.Fatalf("record (parallel=%d): %v", par, err)
+				}
+				var buf bytes.Buffer
+				if _, err := rec.WriteTo(&buf); err != nil {
+					t.Fatalf("serialize (parallel=%d): %v", par, err)
+				}
+				return rec, buf.Bytes()
+			}
+
+			refRec, refBytes := record(1)
+			w := workload.Get("sjbb2k", workload.Params{NProcs: 4, Scale: 8000, Seed: 11})
+			for _, par := range []int{2, 8} {
+				rec, b := record(par)
+				if !reflect.DeepEqual(rec.Stats, refRec.Stats) {
+					t.Errorf("parallel=%d recording Stats diverge:\nseq: %+v\npar: %+v",
+						par, refRec.Stats, rec.Stats)
+				}
+				if !bytes.Equal(b, refBytes) {
+					t.Errorf("parallel=%d serialized recording diverges (%d vs %d bytes)",
+						par, len(refBytes), len(b))
+				}
+				if rec.Fingerprint != refRec.Fingerprint || rec.FinalMemHash != refRec.FinalMemHash {
+					t.Errorf("parallel=%d fingerprint/mem diverge", par)
+				}
+				if len(rec.Checkpoints) != len(refRec.Checkpoints) {
+					t.Fatalf("parallel=%d checkpoint count %d != %d",
+						par, len(rec.Checkpoints), len(refRec.Checkpoints))
+				}
+				for i := range rec.Checkpoints {
+					if !reflect.DeepEqual(rec.Checkpoints[i], refRec.Checkpoints[i]) {
+						t.Errorf("parallel=%d checkpoint %d diverges", par, i)
+					}
+				}
+
+				// Parallel replay of the sequential recording, with timing
+				// perturbation, must still match.
+				res, err := Replay(refRec, ReplayConfig(cfg), w.Progs, ReplayOptions{
+					Parallel: par,
+					Perturb:  bulksc.DefaultPerturb(7),
+				})
+				if err != nil {
+					t.Fatalf("parallel=%d replay: %v", par, err)
+				}
+				if !res.Matches(refRec) {
+					t.Errorf("parallel=%d replay diverged: fp %x vs %x, mem %x vs %x",
+						par, res.Fingerprint, refRec.Fingerprint, res.MemHash, refRec.FinalMemHash)
+				}
+
+				// Interval replay from a mid-run checkpoint with parallel
+				// workers must reproduce the interval fingerprint.
+				if n := len(refRec.Checkpoints); n > 0 {
+					idx := n / 2
+					ir, err := ReplayFromCheckpoint(refRec, idx, ReplayConfig(cfg), w.Progs, ReplayOptions{
+						Parallel: par,
+					})
+					if err != nil {
+						t.Fatalf("parallel=%d interval replay: %v", par, err)
+					}
+					if ir.Fingerprint != refRec.Checkpoints[idx].Fingerprint || ir.MemHash != refRec.FinalMemHash {
+						t.Errorf("parallel=%d interval replay diverged", par)
+					}
+				}
+			}
+		})
+	}
+}

@@ -28,6 +28,10 @@ type RecordOptions struct {
 	// many chunk commits; ReplayFromCheckpoint can then replay any
 	// interval (paper Appendix B's I(n, m)).
 	CheckpointEvery uint64
+	// Parallel sets the engine's intra-run worker count (0/1: the
+	// sequential reference scheduler). Every count records the identical
+	// logs, stats and fingerprint.
+	Parallel int
 }
 
 // recorder turns the engine's commit stream into a Recording. It
@@ -157,6 +161,7 @@ func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory,
 		Policy:         policy,
 		ExactConflicts: opts.ExactConflicts,
 		PicoLog:        mode == PicoLog,
+		Parallel:       opts.Parallel,
 	}
 	if mode == OrderSize {
 		eng.RandomTrunc = bulksc.DefaultRandomTrunc(opts.TruncSeed ^ 0xD0_0DAD)
@@ -166,6 +171,7 @@ func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory,
 		eng.OnCheckpoint = r.onCheckpoint
 	}
 	rec.Stats = eng.Run()
+	rec.Sched = eng.WindowStats()
 	if !rec.Stats.Converged {
 		return rec, errNotConverged
 	}

@@ -98,6 +98,13 @@ type Recording struct {
 
 	// Stats is the initial execution's performance data.
 	Stats bulksc.Stats
+
+	// Sched reports how the intra-run parallel scheduler spent the
+	// recording run (all zero after a sequential run). Host-side
+	// diagnostics only: not serialized by WriteTo and not part of
+	// replay matching — the simulated execution is byte-identical at
+	// every worker count.
+	Sched bulksc.WindowStats
 }
 
 // MemOrderingRawBits returns the uncompressed memory-ordering log size in

@@ -119,6 +119,9 @@ type ReplayOptions struct {
 	UseStratified bool
 	// ExactConflicts matches the recording's squash oracle.
 	ExactConflicts bool
+	// Parallel sets the engine's intra-run worker count (0/1: the
+	// sequential reference scheduler). Every count replays identically.
+	Parallel int
 }
 
 // Replay re-executes progs deterministically from rec. cfg should
@@ -165,6 +168,7 @@ func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOpt
 		Perturb:        opts.Perturb,
 		ExactConflicts: opts.ExactConflicts,
 		PicoLog:        rec.Mode == PicoLog,
+		Parallel:       opts.Parallel,
 	}
 	st := eng.Run()
 	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}

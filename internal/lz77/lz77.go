@@ -19,6 +19,7 @@ package lz77
 
 import (
 	"errors"
+	"sync"
 
 	"delorean/internal/bitio"
 )
@@ -39,29 +40,40 @@ func hash3(p []byte) uint32 {
 	return (v * 0x9e3779b1) >> (32 - hashBits)
 }
 
-// Compress returns the LZ77 token stream for src and its length in bits.
-// The bit length, not the padded byte length, is the honest measure of a
-// hardware log buffer's occupancy.
-func Compress(src []byte) (packed []byte, bits int) {
-	var w bitio.Writer
-	// head[h] is the most recent position with hash h; prev chains older
-	// positions within the window.
-	head := make([]int32, hashSize)
-	for i := range head {
-		head[i] = -1
-	}
-	prev := make([]int32, len(src))
+// matcher is the reusable match-search state: head[h] is the most recent
+// position with hash h; prev chains older positions within the window.
+// The tables are recycled through a pool because the log-size accounting
+// paths call into the compressor once per query — a fresh head+prev pair
+// per call would dominate the allocation profile.
+type matcher struct {
+	head []int32
+	prev []int32
+}
 
-	emitLiteral := func(b byte) {
-		w.WriteBits(0, 1)
-		w.WriteBits(uint64(b), 8)
-	}
-	emitMatch := func(dist, length int) {
-		w.WriteBits(1, 1)
-		w.WriteBits(uint64(dist-1), windowBits)
-		w.WriteBits(uint64(length-minLen), lenBits)
-	}
+var matcherPool = sync.Pool{
+	New: func() any { return &matcher{head: make([]int32, hashSize)} },
+}
 
+func getMatcher(n int) *matcher {
+	m := matcherPool.Get().(*matcher)
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	if cap(m.prev) < n {
+		m.prev = make([]int32, n)
+	} else {
+		m.prev = m.prev[:n]
+	}
+	return m
+}
+
+func (m *matcher) release() { matcherPool.Put(m) }
+
+// scan runs the greedy longest-match tokenization of src, calling
+// emitLiteral/emitMatch for each token. Compress and CompressedBits share
+// it, so the counted size is the packed size by construction.
+func scan(src []byte, m *matcher, emitLiteral func(b byte), emitMatch func(dist, length int)) {
+	head, prev := m.head, m.prev
 	insert := func(i int) {
 		if i+minLen > len(src) {
 			return
@@ -102,6 +114,25 @@ func Compress(src []byte) (packed []byte, bits int) {
 			i++
 		}
 	}
+}
+
+// Compress returns the LZ77 token stream for src and its length in bits.
+// The bit length, not the padded byte length, is the honest measure of a
+// hardware log buffer's occupancy.
+func Compress(src []byte) (packed []byte, bits int) {
+	var w bitio.Writer
+	m := getMatcher(len(src))
+	defer m.release()
+	scan(src, m,
+		func(b byte) {
+			w.WriteBits(0, 1)
+			w.WriteBits(uint64(b), 8)
+		},
+		func(dist, length int) {
+			w.WriteBits(1, 1)
+			w.WriteBits(uint64(dist-1), windowBits)
+			w.WriteBits(uint64(length-minLen), lenBits)
+		})
 	return w.Bytes(), w.Len()
 }
 
@@ -163,10 +194,24 @@ func Decompress(packed []byte, bits int) ([]byte, error) {
 	return out, nil
 }
 
+// Token bit costs: a literal is a flag bit plus the byte; a match is a
+// flag bit plus the packed distance and length.
+const (
+	literalBits = 1 + 8
+	matchBits   = 1 + windowBits + lenBits
+)
+
 // CompressedBits returns only the compressed size in bits, without
-// retaining the token stream. Convenience for log-size accounting.
+// materializing the token stream. The log-size accounting paths (dlog's
+// compressed-bits queries) never use the packed bytes, so this skips the
+// bit packing entirely and just prices the tokens the shared scan emits.
 func CompressedBits(src []byte) int {
-	_, bits := Compress(src)
+	m := getMatcher(len(src))
+	defer m.release()
+	bits := 0
+	scan(src, m,
+		func(byte) { bits += literalBits },
+		func(int, int) { bits += matchBits })
 	return bits
 }
 

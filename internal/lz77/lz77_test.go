@@ -148,3 +148,41 @@ func BenchmarkCompressLogLike(b *testing.B) {
 		CompressedBits(src)
 	}
 }
+
+// TestCompressedBitsMatchesCompress pins the count-only fast path to the
+// packing path: both run the same scan, so the counted size must equal
+// the packed stream's bit length on every input shape.
+func TestCompressedBitsMatchesCompress(t *testing.T) {
+	s := rng.New(77)
+	inputs := [][]byte{
+		nil,
+		{0x42},
+		bytes.Repeat([]byte{7}, 5000),
+		[]byte("the quick brown fox jumps over the lazy dog"),
+	}
+	for n := 1; n <= 4096; n *= 4 {
+		random := make([]byte, n)
+		logLike := make([]byte, n)
+		for i := range random {
+			random[i] = byte(s.Uint64())
+			logLike[i] = byte(s.Intn(6))
+		}
+		inputs = append(inputs, random, logLike)
+	}
+	for i, src := range inputs {
+		_, bits := Compress(src)
+		if got := CompressedBits(src); got != bits {
+			t.Errorf("input %d (%d bytes): CompressedBits=%d, Compress bits=%d", i, len(src), got, bits)
+		}
+	}
+}
+
+func TestCompressedBitsQuickMatchesCompress(t *testing.T) {
+	f := func(src []byte) bool {
+		_, bits := Compress(src)
+		return CompressedBits(src) == bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,22 @@ import (
 // (internal/mem); MemSys answers "how long does this access take" and
 // keeps coherence state so that cross-processor sharing produces the
 // misses and upgrades that make SC/RC/chunked timing differ.
+//
+// Two families of access paths coexist:
+//
+//   - Load/Store serve the classic SC/RC/TSO machines. They mutate shared
+//     structures (L2 LRU, directory) eagerly and count into the scalar
+//     counter fields. They must only be called from a single goroutine.
+//
+//   - SpecLoad/SpecStore serve the chunked engine's speculative execution.
+//     They touch only processor p's L1 and p's counter slot; shared L2 and
+//     directory state is probed read-only, and the mutation each access
+//     implies is returned as a FillKind for the caller to journal and
+//     apply serially at chunk commit (ApplyFill). This confines
+//     speculative side effects to the core — which is both closer to the
+//     BulkSC hardware (speculative state lives in L1; L2 and directory
+//     learn of it at commit) and what lets the engine execute chunks on
+//     concurrent goroutines between commits.
 type MemSys struct {
 	cfg *Config
 	l1  []*cache.Cache
@@ -21,9 +37,39 @@ type MemSys struct {
 	sharers map[uint32]uint32
 	owner   map[uint32]int8
 
-	// Counters.
+	// Counters for the classic (serial) access paths.
 	L1Hits, L2Hits, MemAccesses, C2CTransfers, Upgrades uint64
+
+	// pc[p] counts processor p's speculative accesses; kept per-processor
+	// so concurrent SpecLoad/SpecStore calls never share a cache line of
+	// state. Total* fold both families together.
+	pc []procCounters
 }
+
+type procCounters struct {
+	L1Hits, L2Hits, MemAccesses, C2CTransfers, Upgrades uint64
+	_                                                   [3]uint64 // pad to a cache line
+}
+
+// FillKind classifies the shared-state transition a speculative access
+// performs, deferred to commit time via ApplyFill. The access itself only
+// fills the issuing processor's L1.
+type FillKind uint8
+
+const (
+	// FillNone: L1 hit, nothing to apply.
+	FillNone FillKind = iota
+	// FillL2: the line was supplied by the shared L2 (LRU touch at commit).
+	FillL2
+	// FillMem: the line came from memory (L2 install at commit).
+	FillMem
+	// FillC2C: the line was forwarded cache-to-cache from a dirty owner
+	// (owner downgrade + L2 install at commit).
+	FillC2C
+	// FillUpgrade: the processor held the line shared and upgraded it for
+	// a store (directory transaction only).
+	FillUpgrade
+)
 
 // NewMemSys builds the hierarchy for cfg.
 func NewMemSys(cfg *Config) *MemSys {
@@ -36,6 +82,7 @@ func NewMemSys(cfg *Config) *MemSys {
 	for i := 0; i < cfg.NProcs; i++ {
 		ms.l1 = append(ms.l1, cache.New(cfg.L1Bytes, cfg.L1Ways))
 	}
+	ms.pc = make([]procCounters, cfg.NProcs)
 	return ms
 }
 
@@ -104,14 +151,126 @@ func (ms *MemSys) Store(p int, line uint32) uint64 {
 	return lat
 }
 
+// installL1Spec fills line into p's L1 without touching the shared
+// directory: sharer bookkeeping for speculative fills happens at commit
+// (ApplyFill), so a stale sharer bit from a speculatively evicted line is
+// possible and self-heals at the next invalidation touching it.
+func (ms *MemSys) installL1Spec(p int, line uint32) {
+	ms.l1[p].Install(line)
+}
+
+// SpecLoad returns the latency of a speculative (chunk) load by processor
+// p, filling only p's L1. Shared L2 and directory state is read, not
+// written; the returned FillKind tells the caller which shared-state
+// transition to journal and replay at the chunk's commit via ApplyFill.
+// Safe to call concurrently for distinct p while no serial-path method
+// (Load/Store/CommitLine/DMAWrite/ApplyFill) runs.
+func (ms *MemSys) SpecLoad(p int, line uint32) (uint64, FillKind) {
+	c := &ms.pc[p]
+	if ms.l1[p].Access(line) {
+		c.L1Hits++
+		return ms.cfg.L1Lat, FillNone
+	}
+	// L1 miss. A dirty remote owner forwards cache-to-cache through the
+	// directory; the downgrade becomes visible at commit.
+	if o, ok := ms.owner[line]; ok && int(o) != p {
+		c.C2CTransfers++
+		ms.installL1Spec(p, line)
+		return ms.cfg.L2Lat, FillC2C
+	}
+	if ms.l2.Contains(line) {
+		c.L2Hits++
+		ms.installL1Spec(p, line)
+		return ms.cfg.L2Lat, FillL2
+	}
+	c.MemAccesses++
+	ms.installL1Spec(p, line)
+	return ms.cfg.MemLat, FillMem
+}
+
 // SpecStore returns the latency for processor p to prefetch line for a
 // speculative (chunk) store. The line is brought into p's L1 but other
 // copies are NOT invalidated: BulkSC makes speculative updates visible
-// only at commit.
-func (ms *MemSys) SpecStore(p int, line uint32) uint64 {
-	lat := ms.exclusiveLat(p, line)
-	ms.installL1(p, line)
-	return lat
+// only at commit. Like SpecLoad, shared state is probed read-only and the
+// implied transition is returned for commit-time application.
+func (ms *MemSys) SpecStore(p int, line uint32) (uint64, FillKind) {
+	c := &ms.pc[p]
+	if ms.l1[p].Access(line) {
+		if o, ok := ms.owner[line]; ok && int(o) == p {
+			c.L1Hits++
+			return ms.cfg.L1Lat, FillNone
+		}
+		// Present but shared: upgrade through the directory.
+		c.Upgrades++
+		return ms.cfg.L2Lat, FillUpgrade
+	}
+	if o, ok := ms.owner[line]; ok && int(o) != p {
+		c.C2CTransfers++
+		ms.installL1Spec(p, line)
+		return ms.cfg.L2Lat, FillC2C
+	}
+	if ms.l2.Contains(line) {
+		c.L2Hits++
+		ms.installL1Spec(p, line)
+		return ms.cfg.L2Lat, FillL2
+	}
+	c.MemAccesses++
+	ms.installL1Spec(p, line)
+	return ms.cfg.MemLat, FillMem
+}
+
+// ApplyFill replays, at commit time, the shared-state transition a
+// speculative access by processor p deferred. Called serially, in the
+// chunk's access order, when the chunk commits; a squashed chunk's fills
+// are simply dropped (its speculative pollution of shared state is not
+// modeled, matching hardware where L2/directory learn of a chunk only
+// when it commits).
+func (ms *MemSys) ApplyFill(p int, line uint32, k FillKind) {
+	switch k {
+	case FillC2C:
+		if o, ok := ms.owner[line]; ok && int(o) != p {
+			delete(ms.owner, line)
+		}
+		ms.l2.Install(line)
+	case FillL2:
+		ms.l2.Access(line)
+	case FillMem:
+		ms.installL2(line)
+	case FillUpgrade:
+		// Directory transaction only; sharer state is refreshed below.
+	}
+	if ms.l1[p].Contains(line) {
+		ms.addSharer(line, p)
+	}
+}
+
+// TotalL1Hits returns L1 hits across the classic and speculative paths.
+func (ms *MemSys) TotalL1Hits() uint64 { return ms.total(ms.L1Hits, func(c *procCounters) uint64 { return c.L1Hits }) }
+
+// TotalL2Hits returns L2 hits across the classic and speculative paths.
+func (ms *MemSys) TotalL2Hits() uint64 { return ms.total(ms.L2Hits, func(c *procCounters) uint64 { return c.L2Hits }) }
+
+// TotalMemAccesses returns memory accesses across both path families.
+func (ms *MemSys) TotalMemAccesses() uint64 {
+	return ms.total(ms.MemAccesses, func(c *procCounters) uint64 { return c.MemAccesses })
+}
+
+// TotalC2CTransfers returns cache-to-cache transfers across both path
+// families.
+func (ms *MemSys) TotalC2CTransfers() uint64 {
+	return ms.total(ms.C2CTransfers, func(c *procCounters) uint64 { return c.C2CTransfers })
+}
+
+// TotalUpgrades returns directory upgrades across both path families.
+func (ms *MemSys) TotalUpgrades() uint64 {
+	return ms.total(ms.Upgrades, func(c *procCounters) uint64 { return c.Upgrades })
+}
+
+func (ms *MemSys) total(base uint64, f func(*procCounters) uint64) uint64 {
+	for i := range ms.pc {
+		base += f(&ms.pc[i])
+	}
+	return base
 }
 
 // CommitLine makes processor p's speculative write to line globally

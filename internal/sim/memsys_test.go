@@ -105,3 +105,80 @@ func TestL1EvictionDropsSharerState(t *testing.T) {
 		t.Fatal("evicted line still hits in L1")
 	}
 }
+
+func TestSpecLoadKindsAndDeferredFills(t *testing.T) {
+	cfg := msCfg(3)
+	ms := NewMemSys(&cfg)
+
+	// Cold speculative load: memory fill, not yet visible to peers.
+	lat, kind := ms.SpecLoad(0, 700)
+	if lat != cfg.MemLat || kind != FillMem {
+		t.Fatalf("cold SpecLoad = (%d, %v), want (%d, FillMem)", lat, kind, cfg.MemLat)
+	}
+	// The fill is journaled, not applied: a peer's speculative load is
+	// still a cold miss against the shared state.
+	if lat, kind := ms.SpecLoad(1, 700); lat != cfg.MemLat || kind != FillMem {
+		t.Fatalf("peer SpecLoad before commit = (%d, %v), want cold miss", lat, kind)
+	}
+	// The requester itself hits its own L1 (the private install is
+	// immediate).
+	if lat, kind := ms.SpecLoad(0, 700); lat != cfg.L1Lat || kind != FillNone {
+		t.Fatalf("requester re-SpecLoad = (%d, %v), want L1 hit", lat, kind)
+	}
+
+	// After commit-time replay of the fill, a processor whose own L1 is
+	// cold sees an L2 hit (proc 1 already self-installed speculatively,
+	// so probe with proc 2).
+	ms.ApplyFill(0, 700, FillMem)
+	if lat, kind := ms.SpecLoad(2, 701); lat != cfg.MemLat || kind != FillMem {
+		t.Fatalf("unrelated line = (%d, %v)", lat, kind)
+	}
+	if lat, kind := ms.SpecLoad(2, 700); lat != cfg.L2Lat || kind != FillL2 {
+		t.Fatalf("peer SpecLoad after ApplyFill = (%d, %v), want L2 hit", lat, kind)
+	}
+}
+
+func TestSpecStoreOwnershipKinds(t *testing.T) {
+	cfg := msCfg(2)
+	ms := NewMemSys(&cfg)
+
+	// Committed path establishes proc 0 as dirty owner.
+	ms.Load(0, 800)
+	ms.Store(0, 800)
+	ms.CommitLine(0, 800)
+
+	// A peer's speculative store on a dirty-owned line is a cache-to-
+	// cache transfer; replaying the fill moves the line to L2.
+	lat, kind := ms.SpecStore(1, 800)
+	if lat != cfg.L2Lat || kind != FillC2C {
+		t.Fatalf("peer SpecStore = (%d, %v), want (L2Lat, FillC2C)", lat, kind)
+	}
+	before := ms.TotalC2CTransfers()
+	ms.ApplyFill(1, 800, FillC2C)
+	if got := ms.TotalC2CTransfers(); got != before {
+		t.Fatalf("ApplyFill changed counters: %d -> %d", before, got)
+	}
+
+	// Shared line: a speculative store by one of the sharers upgrades.
+	ms.SpecLoad(0, 900)
+	ms.ApplyFill(0, 900, FillMem)
+	ms.SpecLoad(1, 900)
+	ms.ApplyFill(1, 900, FillL2)
+	if lat, kind := ms.SpecStore(0, 900); lat != cfg.L2Lat || kind != FillUpgrade {
+		t.Fatalf("shared SpecStore = (%d, %v), want (L2Lat, FillUpgrade)", lat, kind)
+	}
+}
+
+func TestSpecCountersPerProcessor(t *testing.T) {
+	cfg := msCfg(3)
+	ms := NewMemSys(&cfg)
+	ms.SpecLoad(0, 1000) // mem access
+	ms.SpecLoad(0, 1000) // L1 hit
+	ms.SpecLoad(2, 1001) // mem access
+	if got := ms.TotalMemAccesses(); got != 2 {
+		t.Fatalf("TotalMemAccesses = %d, want 2", got)
+	}
+	if got := ms.TotalL1Hits(); got != 1 {
+		t.Fatalf("TotalL1Hits = %d, want 1", got)
+	}
+}
