@@ -25,6 +25,7 @@
 package delorean
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -310,6 +311,12 @@ func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
 	}
 	res, err := core.Replay(r.rec, core.ReplayConfig(r.cfg.machine()), r.progs, ro)
 	if err != nil {
+		// A detected divergence is a well-formed replay outcome
+		// (Deterministic=false), not an API failure.
+		var div *core.DivergenceError
+		if errors.As(err, &div) {
+			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats)}, nil
+		}
 		return ReplayResult{}, fmt.Errorf("delorean: replay: %w", err)
 	}
 	return ReplayResult{Deterministic: res.Matches(r.rec), Stats: execStats(res.Stats)}, nil
@@ -351,6 +358,10 @@ func (r *Recording) ReplayFromCheckpoint(idx int, opts ReplayWith) (ReplayResult
 	}
 	res, err := core.ReplayFromCheckpoint(r.rec, idx, core.ReplayConfig(r.cfg.machine()), r.progs, ro)
 	if err != nil {
+		var div *core.DivergenceError
+		if errors.As(err, &div) {
+			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats)}, nil
+		}
 		return ReplayResult{}, fmt.Errorf("delorean: interval replay: %w", err)
 	}
 	return ReplayResult{Deterministic: res.MatchesInterval(r.rec, idx), Stats: execStats(res.Stats)}, nil

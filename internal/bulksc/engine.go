@@ -79,6 +79,7 @@ type Engine struct {
 	tokenTrack     int  // PicoLog: token holder after the APPLIED commits
 	dmaQueuedIdx   int  // record mode: next device DMA to schedule
 	replayDMAOpen  bool // replay: a DMA request is queued at the arbiter
+	inputStarved   bool // replay: an input log ran dry mid-run (corrupt log)
 	lastCommitTime uint64
 }
 
@@ -365,10 +366,23 @@ func (e *Engine) execCount() uint64 {
 	return n
 }
 
+// chunkCount sums committed chunks across cores. It backstops the
+// instruction budget: a malformed replay log can drive the engine into
+// committing empty chunks that never execute an instruction, which the
+// instruction budget alone would let spin forever. Any legitimate run
+// commits far fewer chunks than its instruction budget.
+func (e *Engine) chunkCount() uint64 {
+	var n uint64
+	for _, co := range e.cores {
+		n += co.chunksDone
+	}
+	return n
+}
+
 // runSequential is the reference scheduler: one global event heap, one
 // event at a time, in (time, kind, id, epoch) order.
 func (e *Engine) runSequential(budget uint64) {
-	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && e.execCount() < budget {
+	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && !e.inputStarved && e.execCount() < budget && e.chunkCount() < budget {
 		ev := e.events.pop()
 		if ev.time < e.now {
 			panic("bulksc: event time regressed")
@@ -889,7 +903,12 @@ func (e *Engine) execIO(co *core) {
 			var ok bool
 			v, ok = e.Replay.NextIOValue(co.proc)
 			if !ok {
-				panic(fmt.Sprintf("bulksc: proc %d I/O log exhausted", co.proc))
+				// A truncated I/O log (corrupt recording) starves this
+				// core; leave the instruction pending so the core stalls
+				// and the run terminates non-converged.
+				e.inputStarved = true
+				co.pendingIO = in
+				return
 			}
 		} else {
 			v = e.Devs.ReadPort(in.Imm, co.tm.Clock)
@@ -973,7 +992,11 @@ func (e *Engine) maybeReplayDMA() bool {
 	}
 	addr, data, ok := e.Replay.NextDMA()
 	if !ok {
-		panic("bulksc: replay requires a DMA commit but the DMA log is exhausted")
+		// The commit order demands a DMA transfer the (corrupt) DMA log
+		// no longer holds; without it the arbiter can never grant the
+		// next slot, so terminate the run non-converged.
+		e.inputStarved = true
+		return false
 	}
 	var w signature.Sig
 	var lines []uint32

@@ -53,7 +53,7 @@ func (e *Engine) runParallel(budget uint64) {
 
 	for e.doneCores < e.Cfg.NProcs {
 		exec := e.execCount()
-		if exec >= budget {
+		if exec >= budget || e.chunkCount() >= budget || e.inputStarved {
 			return
 		}
 		gmin, cmin := inf, inf

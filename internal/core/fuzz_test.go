@@ -1,70 +1,26 @@
-package core
+// Randomized record/replay validation. The program generator lives in
+// internal/diffcheck (it is shared with cmd/delorean-fuzz and the
+// fault-injection harness), which is why this file is an external test
+// package: core_test -> diffcheck -> core.
+package core_test
 
 import (
 	"fmt"
 	"testing"
 
 	"delorean/internal/bulksc"
-	"delorean/internal/isa"
+	"delorean/internal/core"
+	"delorean/internal/diffcheck"
 	"delorean/internal/mem"
-	"delorean/internal/rng"
+	"delorean/internal/sim"
 )
 
-// randomProgram generates a terminating program of random shared/private
-// memory traffic: loads, stores, atomics, fences and branches over a
-// small hot shared region (heavy conflicts), a larger warm region, and a
-// private area. It is the adversarial input for record/replay: lots of
-// races, lots of squashes, value-dependent control flow.
-func randomProgram(seed uint64, iters int) *isa.Program {
-	s := rng.New(seed)
-	a := isa.NewAsm()
-	a.LockInit()
-	a.Muli(9, 15, 0x80000)
-	a.Addi(9, 9, 0x1000000)
-	a.Ldi(4, 0)
-	a.Ldi(5, int64(iters))
-	a.Label("loop")
-	nops := 4 + s.Intn(8)
-	for i := 0; i < nops; i++ {
-		region := s.Intn(10)
-		switch {
-		case region < 3: // hot shared line (severe contention)
-			a.Ldi(0, int64(0x10000+s.Intn(8)))
-		case region < 6: // warm shared region
-			a.Ldi(0, int64(0x12000+s.Intn(512)))
-		default: // private
-			a.Andi(0, 4, 255)
-			a.Add(0, 0, 9)
-		}
-		switch s.Intn(5) {
-		case 0:
-			a.Ld(6, 0, 0)
-			a.Add(7, 7, 6)
-		case 1:
-			a.St(0, 0, 7)
-		case 2:
-			a.Fadd(6, 0, 7)
-		case 3:
-			a.Ldi(2, int64(s.Intn(100)))
-			a.Swap(6, 0, 2)
-		case 4:
-			a.Ld(6, 0, 0)
-			// Value-dependent branch: diverging values change the path.
-			skip := fmt.Sprintf("sk_%d_%d", seed, a.Here())
-			a.Andi(6, 6, 1)
-			a.Bne(6, 10, skip)
-			a.Addi(7, 7, 13)
-			a.Label(skip)
-		}
-		if s.Bool(0.1) {
-			a.Fence()
-		}
-		a.Work(s.Intn(30), 3)
-	}
-	a.Addi(4, 4, 1)
-	a.Blt(4, 5, "loop")
-	a.Halt()
-	return a.Assemble()
+func fuzzConfig(nprocs, chunkSize int) sim.Config {
+	c := sim.Default8()
+	c.NProcs = nprocs
+	c.ChunkSize = chunkSize
+	c.MaxInsts = 30_000_000
+	return c
 }
 
 // TestFuzzRecordReplay runs randomized racy programs through record +
@@ -76,22 +32,19 @@ func TestFuzzRecordReplay(t *testing.T) {
 		seeds = 3
 	}
 	for seed := 0; seed < seeds; seed++ {
-		mode := []Mode{OrderSize, OrderOnly, PicoLog}[seed%3]
+		mode := []core.Mode{core.OrderSize, core.OrderOnly, core.PicoLog}[seed%3]
 		t.Run(fmt.Sprintf("seed%d_%v", seed, mode), func(t *testing.T) {
-			progs := make([]*isa.Program, 4)
-			for p := range progs {
-				progs[p] = randomProgram(uint64(seed*31+p), 60)
-			}
-			cfg := testConfig(4, 150+50*(seed%4))
+			progs := diffcheck.GenPrograms(uint64(seed), 4, diffcheck.DefaultGen())
+			cfg := fuzzConfig(4, 150+50*(seed%4))
 			memory := mem.New()
-			rec, err := Record(cfg, mode, progs, memory, nil, RecordOptions{TruncSeed: uint64(seed)})
+			rec, err := core.Record(cfg, mode, progs, memory, nil, core.RecordOptions{TruncSeed: uint64(seed)})
 			if err != nil {
 				t.Fatalf("record: %v", err)
 			}
 			if rec.Stats.Squashes == 0 {
 				t.Log("note: no squashes this seed")
 			}
-			res, err := Replay(rec, ReplayConfig(cfg), progs, ReplayOptions{
+			res, err := core.Replay(rec, core.ReplayConfig(cfg), progs, core.ReplayOptions{
 				Perturb: bulksc.DefaultPerturb(uint64(seed)*7 + 3),
 			})
 			if err != nil {

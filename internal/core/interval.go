@@ -19,6 +19,9 @@ type IntervalCheckpoint struct {
 	// Fingerprint covers only the interval [Slot, end): a replay started
 	// from this checkpoint must reproduce it.
 	Fingerprint uint64
+	// ProcChains are the per-processor slices of the interval
+	// fingerprint (see Recording.ProcChains).
+	ProcChains []uint64
 }
 
 // ReplayFromCheckpoint replays the interval from rec.Checkpoints[idx] to
@@ -36,8 +39,14 @@ func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.
 	if opts.UseStratified {
 		return ReplayResult{}, fmt.Errorf("core: stratified interval replay is not supported")
 	}
+	if err := rec.Validate(); err != nil {
+		return ReplayResult{}, err
+	}
 	if cfg.NProcs != rec.NProcs {
 		return ReplayResult{}, fmt.Errorf("core: replay with %d procs, recording has %d", cfg.NProcs, rec.NProcs)
+	}
+	if len(progs) != rec.NProcs {
+		return ReplayResult{}, fmt.Errorf("core: replay with %d programs, recording has %d procs", len(progs), rec.NProcs)
 	}
 	cp := rec.Checkpoints[idx]
 	cfg.ChunkSize = rec.ChunkSize
@@ -77,7 +86,7 @@ func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.
 		src.dmaIdx++
 	}
 
-	obs := &replayObserver{fp: newFingerprint(rec.NProcs)}
+	obs := &replayObserver{fp: newFingerprint(rec.NProcs), nprocs: rec.NProcs}
 	eng := &bulksc.Engine{
 		Cfg:            cfg,
 		Progs:          progs,
@@ -94,7 +103,10 @@ func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.
 	st := eng.Run()
 	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}
 	if !st.Converged {
-		return res, errNotConverged
+		return res, rec.stallError(obs, st, cfg.MaxInstsOrDefault(), cp.Slot)
+	}
+	if div := rec.divergence(obs, res, cp.Slot, cp.Fingerprint, cp.ProcChains, rec.FinalMemHash, true); div != nil {
+		return res, div
 	}
 	return res, nil
 }

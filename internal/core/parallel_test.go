@@ -6,8 +6,69 @@ import (
 	"testing"
 
 	"delorean/internal/bulksc"
+	"delorean/internal/mem"
 	"delorean/internal/workload"
 )
+
+// TestParallelMidWindowCheckpoints pins checkpoint/resume under the
+// parallel scheduler when the checkpoint period is far smaller than a
+// scheduling window: with CheckpointEvery=7 and a contended workload,
+// nearly every cut lands while other cores hold in-flight uncommitted
+// chunks. Each checkpoint must equal the sequential reference exactly,
+// and interval replay from every cut must reproduce the interval at
+// worker counts 1 and 8.
+func TestParallelMidWindowCheckpoints(t *testing.T) {
+	for _, mode := range []Mode{OrderSize, OrderOnly, PicoLog} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := testConfig(4, 150)
+			progs := racyProgs(4, 80)
+			record := func(par int) *Recording {
+				t.Helper()
+				rec, err := Record(cfg, mode, progs, mem.New(), nil, RecordOptions{
+					TruncSeed:       5,
+					CheckpointEvery: 7,
+					Parallel:        par,
+				})
+				if err != nil {
+					t.Fatalf("record (parallel=%d): %v", par, err)
+				}
+				return rec
+			}
+			ref := record(1)
+			par := record(8)
+			if par.Sched.Windows == 0 {
+				t.Fatal("parallel=8 run opened no scheduling windows")
+			}
+			if len(ref.Checkpoints) < 3 {
+				t.Fatalf("only %d checkpoints — period too coarse for the test", len(ref.Checkpoints))
+			}
+			if len(par.Checkpoints) != len(ref.Checkpoints) {
+				t.Fatalf("parallel=8 took %d checkpoints, sequential %d",
+					len(par.Checkpoints), len(ref.Checkpoints))
+			}
+			for i := range par.Checkpoints {
+				if !reflect.DeepEqual(par.Checkpoints[i], ref.Checkpoints[i]) {
+					t.Errorf("checkpoint %d diverges between schedulers", i)
+				}
+			}
+			for _, idx := range []int{0, len(ref.Checkpoints) / 2, len(ref.Checkpoints) - 1} {
+				for _, rpar := range []int{1, 8} {
+					res, err := ReplayFromCheckpoint(ref, idx, ReplayConfig(cfg), progs, ReplayOptions{
+						Parallel: rpar,
+						Perturb:  bulksc.DefaultPerturb(uint64(idx)*13 + 1),
+					})
+					if err != nil {
+						t.Fatalf("interval replay cp=%d parallel=%d: %v", idx, rpar, err)
+					}
+					if !res.MatchesInterval(ref, idx) {
+						t.Errorf("interval replay cp=%d parallel=%d diverged", idx, rpar)
+					}
+				}
+			}
+		})
+	}
+}
 
 // TestParallelByteIdenticalRecordReplay pins the intra-run parallel
 // scheduler's determinism guarantee end to end: recording a full-system

@@ -179,8 +179,10 @@ func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory,
 		rec.Stratified = r.strat.Finish()
 	}
 	rec.Fingerprint = r.fps[0].sum()
+	rec.ProcChains = r.fps[0].procDigests()
 	for i := range rec.Checkpoints {
 		rec.Checkpoints[i].Fingerprint = r.fps[i+1].sum()
+		rec.Checkpoints[i].ProcChains = r.fps[i+1].procDigests()
 	}
 	rec.FinalMemHash = memory.Hash()
 	return rec, nil

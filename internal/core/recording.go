@@ -96,6 +96,12 @@ type Recording struct {
 	Fingerprint  uint64
 	FinalMemHash uint64
 
+	// ProcChains are the per-processor slices of the fingerprint: one
+	// digest per core over its committed chunk and input streams. A
+	// replay whose Fingerprint mismatches compares these to name the
+	// first divergent core in its DivergenceError.
+	ProcChains []uint64
+
 	// Stats is the initial execution's performance data.
 	Stats bulksc.Stats
 
@@ -305,4 +311,15 @@ func (f *fingerprint) sum() uint64 {
 		s = mix(s, f.commitChain[p], f.ioChain[p], f.intrChain[p])
 	}
 	return s
+}
+
+// procDigests returns one digest per processor over its commit and
+// input chains — the per-core decomposition of sum().
+func (f *fingerprint) procDigests() []uint64 {
+	out := make([]uint64, len(f.commitChain))
+	for p := range f.commitChain {
+		f.flush(p)
+		out[p] = mix(f.commitChain[p], f.ioChain[p], f.intrChain[p])
+	}
+	return out
 }

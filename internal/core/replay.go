@@ -91,13 +91,41 @@ func (s *logSource) NextDMA() (uint32, []uint64, bool) {
 
 var _ bulksc.ReplaySource = (*logSource)(nil)
 
-// replayObserver builds the replay-side fingerprint.
-type replayObserver struct {
-	bulksc.NopObserver
-	fp *fingerprint
+// slotCommit is one logical committed chunk in replay commit order.
+// Split pieces merge into the logical chunk they came from, so indices
+// into the stream correspond to PI-log positions.
+type slotCommit struct {
+	proc  int
+	seqID uint64
+	size  int
 }
 
-func (o *replayObserver) OnCommit(ev bulksc.CommitEvent) { o.fp.commit(ev) }
+// replayObserver builds the replay-side fingerprint and keeps the
+// logical commit stream for divergence localization.
+type replayObserver struct {
+	bulksc.NopObserver
+	fp     *fingerprint
+	nprocs int
+	stream []slotCommit
+}
+
+func (o *replayObserver) OnCommit(ev bulksc.CommitEvent) {
+	o.fp.commit(ev)
+	if ev.Split {
+		// A continuation piece shares its logical chunk's slot: fold its
+		// size into the processor's most recent stream entry.
+		for i := len(o.stream) - 1; i >= 0; i-- {
+			if o.stream[i].proc == ev.Proc {
+				if o.stream[i].seqID == ev.SeqID {
+					o.stream[i].size += ev.Size
+				}
+				break
+			}
+		}
+		return
+	}
+	o.stream = append(o.stream, slotCommit{proc: ev.Proc, seqID: ev.SeqID, size: ev.Size})
+}
 func (o *replayObserver) OnIORead(proc int, _ int64, v uint64) {
 	o.fp.io(proc, v)
 }
@@ -106,6 +134,122 @@ func (o *replayObserver) OnInterrupt(proc int, seq uint64, typ, data int64, _ bo
 }
 func (o *replayObserver) OnDMACommit(_ uint64, addr uint32, data []uint64) {
 	o.fp.dma(addr, data)
+	o.stream = append(o.stream, slotCommit{proc: o.nprocs, size: -1})
+}
+
+// lastSeqOf returns the sequence number of proc's most recent committed
+// chunk, if any.
+func (o *replayObserver) lastSeqOf(proc int) (uint64, bool) {
+	for i := len(o.stream) - 1; i >= 0; i-- {
+		if o.stream[i].proc == proc {
+			return o.stream[i].seqID, true
+		}
+	}
+	return 0, false
+}
+
+// stallError classifies a replay that ended without converging: the
+// order-enforcing policy starved (corrupt or truncated ordering log) or
+// the instruction budget ran out.
+func (rec *Recording) stallError(obs *replayObserver, st bulksc.Stats, budget, piBase uint64) *DivergenceError {
+	slot := piBase + uint64(len(obs.stream))
+	d := &DivergenceError{Kind: "stall", Mode: rec.Mode, Slot: int64(slot), Proc: -1, SeqID: -1}
+	if st.Insts+st.WastedInsts >= budget {
+		d.Detail = fmt.Sprintf("instruction budget (%d) exhausted after %d commits without converging", budget, slot)
+		return d
+	}
+	if rec.Mode != PicoLog {
+		if pi := rec.PI.Entries(); slot < uint64(len(pi)) {
+			d.Proc = pi[slot]
+			if last, ok := obs.lastSeqOf(d.Proc); ok {
+				d.SeqID = int64(last) + 1
+			} else if d.Proc < rec.NProcs {
+				d.SeqID = 0
+			}
+			d.Detail = fmt.Sprintf("log names processor %d next but it never produced a committable chunk (replayed %d of %d log entries)",
+				d.Proc, slot, len(pi))
+			return d
+		}
+		d.Detail = fmt.Sprintf("ordering log exhausted after %d entries with processors still running", slot)
+		return d
+	}
+	d.Detail = fmt.Sprintf("replay starved after %d commits (slot or input log inconsistent with execution)", slot)
+	return d
+}
+
+// divergence classifies a converged replay whose outcome differs from
+// the recording: first it scans the commit stream against the PI and
+// size/CS logs (exact slot/core/chunk localization), then falls back to
+// the per-processor chain digests (core localization), then to the
+// aggregate fingerprint and memory hashes. ordered is false for
+// stratified replay, whose commit order legitimately deviates from the
+// PI sequence within a stratum.
+func (rec *Recording) divergence(obs *replayObserver, res ReplayResult, piBase uint64,
+	wantFP uint64, wantChains []uint64, wantMem uint64, ordered bool) *DivergenceError {
+	if res.Fingerprint == wantFP && res.MemHash == wantMem {
+		return nil
+	}
+	if ordered && rec.Mode != PicoLog {
+		pi := rec.PI.Entries()
+		// Per-proc cursors into the Order&Size size logs, advanced over
+		// the log prefix an interval replay skipped.
+		cursor := make([]int, rec.NProcs)
+		for i := uint64(0); i < piBase && i < uint64(len(pi)); i++ {
+			if p := pi[i]; p < rec.NProcs {
+				cursor[p]++
+			}
+		}
+		for i, sc := range obs.stream {
+			slot := piBase + uint64(i)
+			if slot >= uint64(len(pi)) {
+				return &DivergenceError{Kind: "order", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc,
+					SeqID: seqOrNeg(sc), Detail: fmt.Sprintf("replay committed %d chunks but the log has %d entries", slot+1, len(pi))}
+			}
+			if sc.proc != pi[slot] {
+				return &DivergenceError{Kind: "order", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc,
+					SeqID: seqOrNeg(sc), Detail: fmt.Sprintf("processor %d committed where the log names %d", sc.proc, pi[slot])}
+			}
+			if sc.proc >= rec.NProcs {
+				continue // DMA pseudo-processor: no size log
+			}
+			if rec.Mode == OrderSize {
+				want := rec.Sizes[sc.proc].Sizes()[cursor[sc.proc]]
+				cursor[sc.proc]++
+				if sc.size != want {
+					return &DivergenceError{Kind: "size", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc,
+						SeqID: int64(sc.seqID), Detail: fmt.Sprintf("chunk committed %d instructions where the size log records %d", sc.size, want)}
+				}
+			}
+		}
+	}
+	if len(wantChains) == rec.NProcs {
+		got := obs.fp.procDigests()
+		for p := range got {
+			if got[p] != wantChains[p] {
+				seq := int64(-1)
+				if last, ok := obs.lastSeqOf(p); ok {
+					seq = int64(last)
+				}
+				return &DivergenceError{Kind: "state", Mode: rec.Mode, Slot: -1, Proc: p, SeqID: seq,
+					Detail: "core's committed chunk/input stream digest differs from the recording"}
+			}
+		}
+	}
+	d := &DivergenceError{Kind: "state", Mode: rec.Mode, Slot: -1, Proc: -1, SeqID: -1}
+	switch {
+	case res.MemHash != wantMem:
+		d.Detail = fmt.Sprintf("final memory state %x differs from recorded %x", res.MemHash, wantMem)
+	default:
+		d.Detail = fmt.Sprintf("execution fingerprint %x differs from recorded %x (DMA stream or corrupted fingerprint field)", res.Fingerprint, wantFP)
+	}
+	return d
+}
+
+func seqOrNeg(sc slotCommit) int64 {
+	if sc.proc < 0 || sc.size < 0 {
+		return -1
+	}
+	return int64(sc.seqID)
 }
 
 // ReplayOptions tune a replay run.
@@ -127,9 +271,22 @@ type ReplayOptions struct {
 // Replay re-executes progs deterministically from rec. cfg should
 // normally be ReplayConfig(recording cfg). The programs must be the same
 // binaries that were recorded.
+//
+// Replay verifies itself: a malformed recording fails fast with an
+// ErrCorruptLog-wrapped error, and a replay that runs but does not
+// reproduce the recording (stalled ordering, wrong chunk sizes,
+// divergent per-core streams or final memory) returns the partial
+// ReplayResult together with a *DivergenceError locating the first
+// detected divergence.
 func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOptions) (ReplayResult, error) {
+	if err := rec.Validate(); err != nil {
+		return ReplayResult{}, err
+	}
 	if cfg.NProcs != rec.NProcs {
 		return ReplayResult{}, fmt.Errorf("core: replay with %d procs, recording has %d", cfg.NProcs, rec.NProcs)
+	}
+	if len(progs) != rec.NProcs {
+		return ReplayResult{}, fmt.Errorf("core: replay with %d programs, recording has %d procs", len(progs), rec.NProcs)
 	}
 	cfg.ChunkSize = rec.ChunkSize
 
@@ -157,7 +314,7 @@ func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOpt
 		policy = arbiter.NewLogOrder(rec.PI.Entries())
 	}
 
-	obs := &replayObserver{fp: newFingerprint(rec.NProcs)}
+	obs := &replayObserver{fp: newFingerprint(rec.NProcs), nprocs: rec.NProcs}
 	eng := &bulksc.Engine{
 		Cfg:            cfg,
 		Progs:          progs,
@@ -173,7 +330,10 @@ func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOpt
 	st := eng.Run()
 	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}
 	if !st.Converged {
-		return res, errNotConverged
+		return res, rec.stallError(obs, st, cfg.MaxInstsOrDefault(), 0)
+	}
+	if div := rec.divergence(obs, res, 0, rec.Fingerprint, rec.ProcChains, rec.FinalMemHash, !opts.UseStratified); div != nil {
+		return res, div
 	}
 	return res, nil
 }

@@ -22,7 +22,8 @@ func rebuildStratified(nprocs, maxChunk int, rows [][]int) *stratifier.Stratifie
 // Layout (little-endian):
 //
 //	magic "DLRN" | version u16 | mode u8 | nprocs u16 | chunkSize u32
-//	fingerprint u64 | finalMemHash u64 | stats: insts u64, chunks u64, cycles u64
+//	fingerprint u64 | finalMemHash u64 | per-proc chain digests (nprocs x u64)
+//	stats: insts u64, chunks u64, cycles u64
 //	initial memory: count u32, then (addr u32, value u64) pairs in
 //	  ascending address order
 //	PI log: present u8 [, entries u32, bit-length u32, packed bytes]
@@ -30,9 +31,17 @@ func rebuildStratified(nprocs, maxChunk int, rows [][]int) *stratifier.Stratifie
 //	per proc (Order&Size): size log (count u32, bit-length u32, packed)
 //	per proc: interrupt log, I/O log
 //	DMA log, slot log, stratified log (optional)
+//
+// Version history: v1 had no per-processor chain digests; v2 added them
+// for replay divergence localization.
 const (
 	recMagic   = "DLRN"
-	recVersion = 1
+	recVersion = 2
+
+	// maxChunkSize bounds the header's chunk size on load: large enough
+	// for any plausible configuration (the paper uses 2000), small
+	// enough that the CS/size log entry widths stay well-formed.
+	maxChunkSize = 1 << 20
 )
 
 type countingWriter struct {
@@ -84,6 +93,13 @@ func (r *Recording) WriteTo(w io.Writer) (int64, error) {
 	c.u32(uint32(r.ChunkSize))
 	c.u64(r.Fingerprint)
 	c.u64(r.FinalMemHash)
+	for p := 0; p < r.NProcs; p++ {
+		var ch uint64
+		if p < len(r.ProcChains) {
+			ch = r.ProcChains[p]
+		}
+		c.u64(ch)
+	}
 	c.u64(r.Stats.Insts)
 	c.u64(r.Stats.Chunks)
 	c.u64(r.Stats.Cycles)
@@ -189,7 +205,7 @@ func (d *reader) packed() ([]byte, int) {
 	bits := int(d.u32())
 	if d.err != nil || bits < 0 || bits > 1<<34 {
 		if d.err == nil {
-			d.err = fmt.Errorf("core: implausible packed length %d bits", bits)
+			d.err = fmt.Errorf("implausible packed length %d bits", bits)
 		}
 		return nil, 0
 	}
@@ -198,20 +214,33 @@ func (d *reader) packed() ([]byte, int) {
 	return buf, bits
 }
 
-// ReadRecording deserializes a recording written by WriteTo.
+// allocHint clamps an untrusted element count to a sane pre-allocation
+// size; the actual data is still bounded by the stream, so a lying count
+// only costs reallocation, never an absurd up-front allocation.
+func allocHint(n uint32) int {
+	const limit = 1 << 16
+	if n > limit {
+		return limit
+	}
+	return int(n)
+}
+
+// ReadRecording deserializes a recording written by WriteTo. Malformed
+// input — bad magic, truncated stream, implausible lengths, or log
+// contents that fail Validate — returns an error wrapping ErrCorruptLog.
 func ReadRecording(src io.Reader) (*Recording, error) {
 	d := &reader{r: bufio.NewReader(src)}
 
 	var magic [4]byte
 	d.read(magic[:])
 	if d.err != nil {
-		return nil, d.err
+		return nil, corrupt("short header: %v", d.err)
 	}
 	if string(magic[:]) != recMagic {
-		return nil, fmt.Errorf("core: not a DeLorean recording (magic %q)", magic)
+		return nil, corrupt("not a DeLorean recording (magic %q)", magic)
 	}
 	if v := d.u16(); v != recVersion {
-		return nil, fmt.Errorf("core: unsupported recording version %d", v)
+		return nil, corrupt("unsupported recording version %d", v)
 	}
 
 	r := &Recording{
@@ -221,18 +250,27 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 	}
 	r.NProcs = int(d.u16())
 	r.ChunkSize = int(d.u32())
-	if d.err == nil && (r.NProcs <= 0 || r.NProcs > 1024 || r.ChunkSize <= 0) {
-		return nil, fmt.Errorf("core: implausible header (%d procs, chunk %d)", r.NProcs, r.ChunkSize)
+	if d.err == nil && (r.NProcs <= 0 || r.NProcs > 1024 || r.ChunkSize <= 0 || r.ChunkSize > maxChunkSize) {
+		return nil, corrupt("implausible header (%d procs, chunk %d)", r.NProcs, r.ChunkSize)
+	}
+	if d.err == nil && (r.Mode < OrderSize || r.Mode > PicoLog) {
+		return nil, corrupt("unknown mode %d", int(r.Mode))
 	}
 	r.Fingerprint = d.u64()
 	r.FinalMemHash = d.u64()
+	if d.err == nil {
+		r.ProcChains = make([]uint64, r.NProcs)
+		for p := range r.ProcChains {
+			r.ProcChains[p] = d.u64()
+		}
+	}
 	r.Stats.Insts = d.u64()
 	r.Stats.Chunks = d.u64()
 	r.Stats.Cycles = d.u64()
 	r.Stats.Converged = true
 
 	n := d.u32()
-	r.InitialMem = make(map[uint32]uint64, n)
+	r.InitialMem = make(map[uint32]uint64, allocHint(n))
 	for i := uint32(0); i < n && d.err == nil; i++ {
 		a := d.u32()
 		r.InitialMem[a] = d.u64()
@@ -244,7 +282,7 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 		if d.err == nil {
 			pi, err := dlog.UnpackPILog(r.NProcs, buf, bits, entries)
 			if err != nil {
-				return nil, err
+				return nil, corrupt("PI log: %v", err)
 			}
 			r.PI = pi
 		}
@@ -258,7 +296,7 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 		}
 		cs, err := dlog.UnpackCSLog(r.ChunkSize, buf, bits)
 		if err != nil {
-			return nil, err
+			return nil, corrupt("CS log %d: %v", p, err)
 		}
 		r.CS = append(r.CS, cs)
 	}
@@ -271,7 +309,7 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 			}
 			sl, err := dlog.UnpackSizeLog(r.ChunkSize, buf, bits, count)
 			if err != nil {
-				return nil, err
+				return nil, corrupt("size log %d: %v", p, err)
 			}
 			r.Sizes = append(r.Sizes, sl)
 		}
@@ -284,7 +322,7 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 		}
 		il, err := dlog.UnpackIntrLog(buf, bits, count)
 		if err != nil {
-			return nil, err
+			return nil, corrupt("interrupt log %d: %v", p, err)
 		}
 		r.Intr = append(r.Intr, il)
 	}
@@ -302,31 +340,49 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 		if d.err == nil {
 			dl, err := dlog.UnpackDMALog(buf, bits, count)
 			if err != nil {
-				return nil, err
+				return nil, corrupt("DMA log: %v", err)
 			}
 			r.DMA = dl
 		}
 	}
 	{
 		count := int(d.u32())
+		var prev uint64
 		for i := 0; i < count && d.err == nil; i++ {
 			slot := d.u64()
 			proc := int(d.u16())
+			if d.err != nil {
+				break
+			}
+			// SlotLog.Append panics on disorder; reject untrusted input
+			// with an error instead.
+			if i > 0 && slot <= prev {
+				return nil, corrupt("slot entries out of order at %d", i)
+			}
+			if proc < 0 || proc >= r.NProcs {
+				return nil, corrupt("slot entry %d names processor %d of %d", i, proc, r.NProcs)
+			}
+			prev = slot
 			r.Slots.Append(dlog.SlotEntry{Slot: slot, Proc: proc})
 		}
 	}
 	if d.u8() == 1 {
 		// Stratified log round-trips through the stratifier's rebuild
 		// helper.
-		strata := int(d.u32())
+		strata := d.u32()
 		maxChunk := int(d.u16())
-		rows := make([][]int, strata)
-		for i := 0; i < strata && d.err == nil; i++ {
+		if d.err == nil && maxChunk < 1 {
+			return nil, corrupt("stratified log with max %d chunks per stratum", maxChunk)
+		}
+		rows := make([][]int, 0, allocHint(strata))
+		for i := uint32(0); i < strata && d.err == nil; i++ {
 			row := make([]int, r.NProcs+1)
 			for j := range row {
 				row[j] = int(d.u16())
 			}
-			rows[i] = row
+			if d.err == nil {
+				rows = append(rows, row)
+			}
 		}
 		if d.err == nil {
 			r.Stratified = rebuildStratified(r.NProcs, maxChunk, rows)
@@ -334,7 +390,10 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 	}
 
 	if d.err != nil {
-		return nil, fmt.Errorf("core: truncated recording: %w", d.err)
+		return nil, corrupt("truncated recording: %v", d.err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
 	}
 	return r, nil
 }

@@ -1,0 +1,113 @@
+package diffcheck
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"delorean/internal/core"
+	"delorean/internal/mem"
+	"delorean/internal/sim"
+)
+
+// seedRecordingBytes serializes one small real recording per mode; the
+// fuzz targets below use them as corpus seeds so mutation starts from
+// well-formed containers rather than random noise.
+func seedRecordingBytes(f *testing.F) [][]byte {
+	f.Helper()
+	cfg := sim.Default8().WithProcs(2).WithChunkSize(60)
+	cfg.MaxInsts = 5_000_000
+	gen := DefaultGen()
+	gen.Iters = 8
+	progs := GenPrograms(3, 2, gen)
+	var out [][]byte
+	for _, mode := range []core.Mode{core.OrderSize, core.OrderOnly, core.PicoLog} {
+		rec, err := core.Record(cfg, mode, progs, mem.New(), nil, core.RecordOptions{TruncSeed: 3})
+		if err != nil {
+			f.Fatalf("seed recording (%v): %v", mode, err)
+		}
+		var buf bytes.Buffer
+		if _, err := rec.WriteTo(&buf); err != nil {
+			f.Fatalf("serialize seed (%v): %v", mode, err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+// FuzzRecordingDeserialize: an arbitrary byte stream fed to the
+// recording loader must either load cleanly or fail with an
+// ErrCorruptLog-wrapped error — never panic, never return a partial
+// Recording. A stream that does load must survive a serialize→reload
+// round trip byte-identically (the loader and writer agree on the
+// format).
+func FuzzRecordingDeserialize(f *testing.F) {
+	for _, b := range seedRecordingBytes(f) {
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+	}
+	f.Add([]byte("DLRN"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := core.ReadRecording(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, core.ErrCorruptLog) {
+				t.Fatalf("loader error does not wrap ErrCorruptLog: %v", err)
+			}
+			return
+		}
+		var first bytes.Buffer
+		if _, err := rec.WriteTo(&first); err != nil {
+			t.Fatalf("re-serialize of loaded recording: %v", err)
+		}
+		rec2, err := core.ReadRecording(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reload of re-serialized recording: %v", err)
+		}
+		var second bytes.Buffer
+		if _, err := rec2.WriteTo(&second); err != nil {
+			t.Fatalf("second serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("serialize→reload→serialize is not a fixed point")
+		}
+	})
+}
+
+// FuzzReplayRecording: any recording the loader accepts must be safe to
+// replay against an unrelated program — the engine may (and usually
+// will) report a typed divergence or corruption error, but it must not
+// panic, hang, or silently return a matching result for a workload the
+// recording does not describe.
+func FuzzReplayRecording(f *testing.F) {
+	for _, b := range seedRecordingBytes(f) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := core.ReadRecording(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rec.NProcs > 8 || rec.ChunkSize > 4096 {
+			return // keep the per-input cost bounded
+		}
+		gen := DefaultGen()
+		gen.Iters = 8
+		progs := GenPrograms(1, rec.NProcs, gen)
+		cfg := sim.Default8().WithProcs(rec.NProcs).WithChunkSize(rec.ChunkSize)
+		cfg.MaxInsts = 200_000
+		res, rerr := core.Replay(rec, core.ReplayConfig(cfg), progs, core.ReplayOptions{})
+		if rerr == nil {
+			// nil error means replay claims full reproduction — the
+			// self-verification invariant. A clean non-match would be a
+			// silent wrong result, the one outcome the harness forbids.
+			if !res.Matches(rec) {
+				t.Fatal("replay returned nil error but result does not match recording")
+			}
+			return
+		}
+		var div *core.DivergenceError
+		if !errors.As(rerr, &div) && !errors.Is(rerr, core.ErrCorruptLog) {
+			t.Fatalf("untyped replay error: %v", rerr)
+		}
+	})
+}

@@ -1,0 +1,338 @@
+package diffcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/core"
+	"delorean/internal/isa"
+	"delorean/internal/lz77"
+	"delorean/internal/mem"
+	"delorean/internal/rng"
+	"delorean/internal/sim"
+)
+
+// Options configures one differential check run.
+type Options struct {
+	NProcs    int
+	ChunkSize int
+	// Parallel lists the simulator worker counts that must all produce
+	// byte-identical recordings (first entry is the baseline).
+	Parallel []int
+	// CheckpointEvery is the chunk-commit period for the interval-replay
+	// oracle (0 disables it).
+	CheckpointEvery uint64
+	// MaxInsts bounds every execution — the anti-hang backstop for
+	// fault-injected replays.
+	MaxInsts uint64
+	// Gen generates the racy workload for the record/replay, parallel,
+	// serialization and fault oracles. The cross-model oracle always
+	// uses a race-free derivation of it.
+	Gen GenConfig
+	// Faults enables the fault-injection oracles.
+	Faults bool
+}
+
+// DefaultOptions returns the standard matrix: 4 processors, small
+// chunks (more interleaving per instruction), worker counts {1, 2, 8},
+// checkpoints, device traffic, and fault injection.
+func DefaultOptions() Options {
+	return Options{
+		NProcs:          4,
+		ChunkSize:       200,
+		Parallel:        []int{1, 2, 8},
+		CheckpointEvery: 25,
+		MaxInsts:        30_000_000,
+		Gen:             SystemGen(),
+		Faults:          true,
+	}
+}
+
+func (o Options) machine() sim.Config {
+	c := sim.Default8()
+	c.NProcs = o.NProcs
+	c.ChunkSize = o.ChunkSize
+	c.MaxInsts = o.MaxInsts
+	return c
+}
+
+// Report is the outcome of Check for one seed.
+type Report struct {
+	Seed     uint64
+	Checks   int      // oracle comparisons performed
+	Benign   int      // injected faults that turned out architecturally benign
+	Failures []string // empty iff the seed passed
+}
+
+// OK reports whether every oracle held.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+func (r *Report) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) check(ok bool, format string, args ...any) {
+	r.Checks++
+	if !ok {
+		r.failf(format, args...)
+	}
+}
+
+var modes = []core.Mode{core.OrderSize, core.OrderOnly, core.PicoLog}
+
+// Check runs the full differential matrix for one seed and returns a
+// report. It is deterministic in (seed, opts).
+func Check(seed uint64, opts Options) Report {
+	rep := Report{Seed: seed}
+	cfg := opts.machine()
+
+	crossModel(&rep, seed, opts, cfg)
+
+	progs := GenPrograms(seed, opts.NProcs, opts.Gen)
+	for _, mode := range modes {
+		checkMode(&rep, seed, opts, cfg, mode, progs)
+	}
+	return rep
+}
+
+// crossModel checks that a race-free generated program reaches the same
+// final memory state under SC, RC, and all three chunked recording
+// modes — the models must agree wherever the memory model permits no
+// visible difference.
+func crossModel(rep *Report, seed uint64, opts Options, cfg sim.Config) {
+	rf := opts.Gen
+	rf.RaceFree = true
+	rf.IntrPeriod, rf.DMAPeriod, rf.IOFrac = 0, 0, 0
+	progs := GenPrograms(seed, opts.NProcs, rf)
+
+	classic := func(model sim.Model) (uint64, bool) {
+		m := sim.NewMachine(cfg, model, progs, mem.New(), nil)
+		st := m.Run()
+		return m.Mem.Hash(), st.Converged
+	}
+	sc, okSC := classic(sim.SC)
+	rc, okRC := classic(sim.RC)
+	rep.check(okSC && okRC, "cross-model: classic run did not converge (SC=%v RC=%v)", okSC, okRC)
+	if !okSC || !okRC {
+		return
+	}
+	rep.check(sc == rc, "cross-model: SC %x != RC %x on race-free program", sc, rc)
+
+	for _, mode := range modes {
+		rec, err := core.Record(cfg, mode, progs, mem.New(), nil, core.RecordOptions{})
+		if err != nil {
+			rep.failf("cross-model: %v record: %v", mode, err)
+			continue
+		}
+		rep.check(rec.FinalMemHash == sc,
+			"cross-model: %v final memory %x != SC %x on race-free program", mode, rec.FinalMemHash, sc)
+	}
+}
+
+// checkMode runs the per-mode oracles: parallel-worker byte identity,
+// perturbed replay determinism, serialization and lz77 round trips,
+// interval replay, and fault injection.
+func checkMode(rep *Report, seed uint64, opts Options, cfg sim.Config, mode core.Mode, progs []*isa.Program) {
+	record := func(par int, every uint64) (*core.Recording, error) {
+		return core.Record(cfg, mode, progs, mem.New(), GenDevices(seed, opts.NProcs, opts.Gen),
+			core.RecordOptions{TruncSeed: seed, Parallel: par, CheckpointEvery: every})
+	}
+
+	rec, err := record(0, 0)
+	if err != nil {
+		rep.failf("%v: record: %v", mode, err)
+		return
+	}
+	base := serialize(rep, mode, rec)
+	if base == nil {
+		return
+	}
+
+	// Oracle: every simulator worker count produces the byte-identical
+	// recording and identical stats.
+	for _, par := range opts.Parallel {
+		if par <= 1 {
+			continue
+		}
+		recP, err := record(par, 0)
+		if err != nil {
+			rep.failf("%v: record parallel=%d: %v", mode, par, err)
+			continue
+		}
+		rep.check(reflect.DeepEqual(recP.Stats, rec.Stats),
+			"%v: parallel=%d stats differ from sequential", mode, par)
+		if b := serialize(rep, mode, recP); b != nil {
+			rep.check(bytes.Equal(b, base),
+				"%v: parallel=%d recording bytes differ from sequential", mode, par)
+		}
+	}
+
+	// Oracle: the serialized recording loads back, re-serializes to the
+	// same bytes, and its perturbed replay reproduces the original
+	// execution with the same committed instruction count.
+	rec2, err := core.ReadRecording(bytes.NewReader(base))
+	if err != nil {
+		rep.failf("%v: reload: %v", mode, err)
+		return
+	}
+	if b2 := serialize(rep, mode, rec2); b2 != nil {
+		rep.check(bytes.Equal(b2, base), "%v: reload re-serializes differently", mode)
+	}
+	res, err := core.Replay(rec2, core.ReplayConfig(cfg), progs, core.ReplayOptions{
+		Perturb: bulksc.DefaultPerturb(seed*7 + 3),
+	})
+	if err != nil {
+		rep.failf("%v: perturbed replay: %v", mode, err)
+	} else {
+		rep.check(res.Matches(rec), "%v: perturbed replay does not match recording", mode)
+		rep.check(res.Stats.Insts == rec.Stats.Insts,
+			"%v: replay committed %d insts, recording %d", mode, res.Stats.Insts, rec.Stats.Insts)
+	}
+
+	lzRoundTrip(rep, mode, rec)
+
+	if opts.CheckpointEvery > 0 {
+		intervalReplay(rep, opts, cfg, mode, progs, base, record)
+	}
+	if opts.Faults {
+		injectByteFaults(rep, seed, cfg, mode, progs, base)
+		injectLogFaults(rep, seed, cfg, mode, progs, base)
+	}
+}
+
+func serialize(rep *Report, mode core.Mode, rec *core.Recording) []byte {
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		rep.failf("%v: serialize: %v", mode, err)
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// lzRoundTrip checks that every log's packed form survives LZ77
+// compression — the compressed sizes the evaluation reports must
+// describe losslessly recoverable logs.
+func lzRoundTrip(rep *Report, mode core.Mode, rec *core.Recording) {
+	round := func(name string, b []byte) {
+		packed, bits := lz77.Compress(b)
+		out, err := lz77.Decompress(packed, bits)
+		if err != nil {
+			rep.failf("%v: lz77 %s: %v", mode, name, err)
+			return
+		}
+		rep.check(bytes.Equal(out, b), "%v: lz77 %s round trip differs", mode, name)
+	}
+	if rec.PI != nil {
+		b, _ := rec.PI.Pack()
+		round("PI", b)
+	}
+	for p, cs := range rec.CS {
+		if cs.Len() > 0 {
+			b, _ := cs.Pack()
+			round(fmt.Sprintf("CS[%d]", p), b)
+		}
+	}
+	for p, sl := range rec.Sizes {
+		if sl.Len() > 0 {
+			b, _ := sl.Pack()
+			round(fmt.Sprintf("Sizes[%d]", p), b)
+		}
+	}
+}
+
+// intervalReplay records with periodic checkpoints (which must not
+// change the execution: same serialized bytes) and replays each
+// interval, sequentially and under the last parallel worker count.
+func intervalReplay(rep *Report, opts Options, cfg sim.Config, mode core.Mode,
+	progs []*isa.Program, base []byte, record func(par int, every uint64) (*core.Recording, error)) {
+	recCP, err := record(0, opts.CheckpointEvery)
+	if err != nil {
+		rep.failf("%v: record with checkpoints: %v", mode, err)
+		return
+	}
+	if b := serialize(rep, mode, recCP); b != nil {
+		rep.check(bytes.Equal(b, base), "%v: checkpointing changed the recording", mode)
+	}
+	if len(recCP.Checkpoints) == 0 {
+		rep.failf("%v: no checkpoints taken (every=%d, %d chunks)",
+			mode, opts.CheckpointEvery, recCP.Stats.Chunks)
+		return
+	}
+	pars := []int{0}
+	if n := len(opts.Parallel); n > 0 && opts.Parallel[n-1] > 1 {
+		pars = append(pars, opts.Parallel[n-1])
+	}
+	for _, idx := range []int{0, len(recCP.Checkpoints) / 2, len(recCP.Checkpoints) - 1} {
+		for _, par := range pars {
+			res, err := core.ReplayFromCheckpoint(recCP, idx, core.ReplayConfig(cfg), progs,
+				core.ReplayOptions{Parallel: par})
+			if err != nil {
+				rep.failf("%v: interval replay cp=%d par=%d: %v", mode, idx, par, err)
+				continue
+			}
+			rep.check(res.MatchesInterval(recCP, idx),
+				"%v: interval replay cp=%d par=%d does not match", mode, idx, par)
+		}
+	}
+}
+
+// faultOutcome classifies one damaged-recording replay. Acceptable:
+// typed corruption error, typed divergence error, or a benign full
+// match. Anything else — silent mismatch or an untyped error — fails.
+func faultOutcome(rep *Report, rec *core.Recording, cfg sim.Config, progs []*isa.Program,
+	name string, mode core.Mode) {
+	res, err := core.Replay(rec, core.ReplayConfig(cfg), progs, core.ReplayOptions{})
+	var div *core.DivergenceError
+	switch {
+	case err == nil:
+		rep.check(res.Matches(rec), "%v/%s: replay returned clean non-matching result", mode, name)
+		if res.Matches(rec) {
+			rep.Benign++
+		}
+	case errors.As(err, &div):
+		rep.Checks++ // detected: the desired outcome
+	case errors.Is(err, core.ErrCorruptLog):
+		rep.Checks++
+	default:
+		rep.Checks++
+		rep.failf("%v/%s: untyped replay error: %v", mode, name, err)
+	}
+}
+
+// injectByteFaults damages the serialized container and demands the
+// loader or the replayer catch it.
+func injectByteFaults(rep *Report, seed uint64, cfg sim.Config, mode core.Mode,
+	progs []*isa.Program, base []byte) {
+	for fi, f := range ByteFaults() {
+		s := rng.New(seed<<8 ^ uint64(fi)<<4 ^ uint64(mode))
+		damaged := f.Apply(s, base)
+		rec, err := core.ReadRecording(bytes.NewReader(damaged))
+		if err != nil {
+			rep.check(errors.Is(err, core.ErrCorruptLog),
+				"%v/%s: loader error does not wrap ErrCorruptLog: %v", mode, f.Name, err)
+			continue
+		}
+		faultOutcome(rep, rec, cfg, progs, f.Name, mode)
+	}
+}
+
+// injectLogFaults damages a freshly loaded recording's logs and demands
+// replay detect the divergence.
+func injectLogFaults(rep *Report, seed uint64, cfg sim.Config, mode core.Mode,
+	progs []*isa.Program, base []byte) {
+	for fi, f := range RecordingFaults() {
+		s := rng.New(seed<<9 ^ uint64(fi)<<5 ^ uint64(mode))
+		rec, err := core.ReadRecording(bytes.NewReader(base))
+		if err != nil {
+			rep.failf("%v/%s: reload for fault injection: %v", mode, f.Name, err)
+			return
+		}
+		if !f.Mutate(s, rec) {
+			continue // fault class not applicable to this recording
+		}
+		faultOutcome(rep, rec, cfg, progs, f.Name, mode)
+	}
+}

@@ -1,6 +1,8 @@
 package dlog
 
 import (
+	"fmt"
+
 	"delorean/internal/bitio"
 	"delorean/internal/lz77"
 )
@@ -206,6 +208,12 @@ func UnpackDMALog(packed []byte, nbits, n int) (*DMALog, error) {
 		count, err := r.ReadUvarint()
 		if err != nil {
 			return nil, err
+		}
+		// Each word occupies 64 bits of the stream; a count the stream
+		// cannot back is corrupt, and allocating for it first would let a
+		// few bytes of input demand gigabytes.
+		if count > uint64(r.Remaining())/64 {
+			return nil, fmt.Errorf("dlog: DMA entry %d claims %d words, stream has %d bits", i, count, r.Remaining())
 		}
 		data := make([]uint64, count)
 		for k := range data {

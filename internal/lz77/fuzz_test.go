@@ -1,0 +1,36 @@
+package lz77
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLZ77RoundTrip checks the two properties the log-compression model
+// must hold under arbitrary input: Compress→Decompress is the identity,
+// and Decompress of an arbitrary byte stream (treated as a token stream)
+// returns data or ErrCorrupt — it never panics.
+func FuzzLZ77RoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("abcabcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 300))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x13, 0x37})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		packed, bits := Compress(data)
+		out, err := Decompress(packed, bits)
+		if err != nil {
+			t.Fatalf("round trip failed to decode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch: %d in, %d out", len(data), len(out))
+		}
+		if got := CompressedBits(data); got != bits {
+			t.Fatalf("CompressedBits = %d, Compress packed %d bits", got, bits)
+		}
+
+		// The input reinterpreted as a token stream must decode or fail
+		// cleanly (ErrCorrupt or a bitio read error) — corrupted hardware
+		// logs reach this path during replay. Only a panic is a bug.
+		_, _ = Decompress(data, 8*len(data))
+	})
+}

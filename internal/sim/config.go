@@ -97,6 +97,10 @@ func (c Config) WithSimulChunks(n int) Config {
 	return c
 }
 
+// MaxInstsOrDefault returns the effective instruction budget: MaxInsts,
+// or the 100M default when zero.
+func (c Config) MaxInstsOrDefault() uint64 { return c.maxInsts() }
+
 func (c Config) maxInsts() uint64 {
 	if c.MaxInsts == 0 {
 		return 100_000_000
