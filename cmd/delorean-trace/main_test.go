@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delorean"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files and the committed test recording")
+
+// testRecording returns the committed test recording (testdata/run.rec:
+// raytrace, 4 procs, scale 2000, seed 1, OrderOnly — the -perfetto test
+// must regenerate the workload with these exact parameters). With
+// -update it is re-recorded first; a diff after -update means the
+// serialization format or the simulated execution changed.
+func testRecording(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("testdata", "run.rec")
+	if *update {
+		cfg := delorean.DefaultConfig()
+		cfg.Processors = 4
+		w := delorean.NewWorkload("raytrace", 4, 2000, 1)
+		rec, err := delorean.Record(cfg, delorean.OrderOnly, w)
+		if err != nil {
+			t.Fatalf("record: %v", err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Save(f); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("missing committed recording (regenerate with -update): %v", err)
+	}
+	return path
+}
+
+// The inspection output is deterministic (the recording is), so it is
+// pinned by a golden file; regenerate with `go test -run Golden -update`.
+func TestInspectGolden(t *testing.T) {
+	rec := testRecording(t)
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-pi", "16", rec}); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, errw.String())
+	}
+	golden := filepath.Join("testdata", "inspect.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("inspection output differs from golden:\n got:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+}
+
+// -perfetto replays the recording with tracing and writes trace_event
+// JSON that -validate (and hence the CI observability job) accepts.
+func TestPerfettoExportValidates(t *testing.T) {
+	rec := testRecording(t)
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	var out, errw bytes.Buffer
+	code := run(&out, &errw, []string{
+		"-perfetto", trace, "-workload", "raytrace", "-scale", "2000", "-seed", "1", rec})
+	if code != 0 {
+		t.Fatalf("perfetto export = %d, stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "deterministic") {
+		t.Errorf("export output missing replay verdict:\n%s", out.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-validate", trace}); code != 0 {
+		t.Fatalf("validate = %d, stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "valid trace_event JSON") {
+		t.Errorf("validate output: %s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, nil); code != 2 {
+		t.Errorf("no args: run = %d, want 2", code)
+	}
+	if code := run(&out, &errw, []string{"-bogus-flag"}); code != 2 {
+		t.Errorf("bad flag: run = %d, want 2", code)
+	}
+	if code := run(&out, &errw, []string{"/nonexistent/recording"}); code != 1 {
+		t.Errorf("missing file: run = %d, want 1", code)
+	}
+	if code := run(&out, &errw, []string{"-validate", "/nonexistent/trace.json"}); code != 1 {
+		t.Errorf("missing validate file: run = %d, want 1", code)
+	}
+}

@@ -15,6 +15,7 @@
 //	-stratify n      also build the stratified PI log (chunks/stratum)
 //	-seed n          workload seed
 //	-simparallel n   intra-run simulator workers (default 1: sequential)
+//	-trace-out f     write a Perfetto/chrome trace of the run to f
 //	-list            list workloads and exit
 package main
 
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"delorean"
+	"delorean/internal/metrics"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		savePath = flag.String("save", "", "save the recording to this file")
 		loadPath = flag.String("load", "", "replay a previously saved recording instead of recording")
+		traceOut = flag.String("trace-out", "", "write a Perfetto/chrome trace of the recording run (or, with -load, the first replay) to this file")
 	)
 	flag.Parse()
 
@@ -91,7 +94,15 @@ func main() {
 	} else {
 		fmt.Printf("recording %s in %s mode (%d procs, chunk %d, ~%d insts/proc)...\n",
 			*wname, mode, *procs, cfg.ChunkSize, *scale)
-		rec, err = delorean.Record(cfg, mode, w)
+		if *traceOut != "" {
+			var tr *delorean.ExecTrace
+			rec, tr, err = delorean.RecordTraced(cfg, mode, w)
+			if err == nil {
+				writeTrace(*traceOut, tr)
+			}
+		} else {
+			rec, err = delorean.Record(cfg, mode, w)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "record failed:", err)
 			os.Exit(1)
@@ -139,10 +150,23 @@ func main() {
 
 	fmt.Printf("\nreplaying %d perturbed runs...\n", *replays)
 	for i := 0; i < *replays; i++ {
-		res, err := rec.Replay(delorean.ReplayWith{
+		opts := delorean.ReplayWith{
 			PerturbSeed:   uint64(1000*i + 17),
 			UseStratified: *stratify > 0,
-		})
+		}
+		var res delorean.ReplayResult
+		var err error
+		if *loadPath != "" && *traceOut != "" && i == 0 {
+			// Recording was loaded, not re-run: trace the first replay
+			// instead.
+			var tr *delorean.ExecTrace
+			res, tr, err = rec.ReplayTraced(opts)
+			if err == nil {
+				writeTrace(*traceOut, tr)
+			}
+		} else {
+			res, err = rec.Replay(opts)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "replay failed:", err)
 			os.Exit(1)
@@ -151,11 +175,30 @@ func main() {
 		if !res.Deterministic {
 			verdict = "DIVERGED"
 		}
-		speed := float64(st.Cycles) / float64(res.Stats.Cycles)
+		speed := metrics.SafeDiv(float64(st.Cycles), float64(res.Stats.Cycles))
 		fmt.Printf("  run %d: %s (%.0f%% of initial speed)\n", i+1, verdict, 100*speed)
 		if !res.Deterministic {
 			os.Exit(1)
 		}
 	}
 	fmt.Println("\nall replays reproduced the recording exactly.")
+}
+
+// writeTrace exports a captured timeline as chrome trace_event JSON.
+func writeTrace(path string, tr *delorean.ExecTrace) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := tr.WritePerfetto(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "trace export failed:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote execution trace to %s (%d events; open in ui.perfetto.dev)\n", path, tr.Events())
 }

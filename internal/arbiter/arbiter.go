@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"delorean/internal/signature"
+	"delorean/internal/trace"
 )
 
 // Request is one chunk's (or DMA transfer's) pending commit.
@@ -73,6 +74,10 @@ type Arbiter struct {
 	// Exact selects exact-line conflict checks instead of signatures
 	// (the ablation oracle).
 	Exact bool
+	// Trace, when non-nil, receives occupancy samples and deny events.
+	// The engine only drives the arbiter from serial sections, so this
+	// points at the trace sink's global stream.
+	Trace *trace.Stream
 
 	queue    []*Request
 	inflight []inflightCommit
@@ -137,6 +142,10 @@ func (a *Arbiter) sample(now uint64) {
 func (a *Arbiter) Submit(now uint64, r *Request) {
 	a.sample(now)
 	a.queue = append(a.queue, r)
+	if a.Trace != nil {
+		a.Trace.Emit(trace.Event{Time: now, Proc: -1, Kind: trace.ArbQueue,
+			A: uint64(len(a.queue)), B: uint64(len(a.inflight))})
+	}
 }
 
 // Withdraw removes any queued requests whose Tag matches one of tags
@@ -262,7 +271,45 @@ func (a *Arbiter) TryGrant(now uint64) []*Request {
 			}
 		}
 	}
+	if a.Trace != nil {
+		a.Trace.Emit(trace.Event{Time: now, Proc: -1, Kind: trace.ArbQueue,
+			A: uint64(len(a.queue)), B: uint64(len(a.inflight))})
+		if len(grants) == 0 {
+			if reason, ready := a.denyReason(now); ready > 0 && reason != 0 {
+				a.Trace.Emit(trace.Event{Time: now, Proc: -1, Kind: trace.ArbDeny,
+					A: reason, B: uint64(ready)})
+			}
+		}
+	}
 	return grants
+}
+
+// denyReason reports why the head-most ready request cannot be granted at
+// time now, mirroring TryGrant's decision order (concurrency bound, then
+// ordering policy, then same-processor program order, then write-set
+// conflict), plus the total ready request count. Reason 0 means nothing
+// was ready or nothing was blocked.
+func (a *Arbiter) denyReason(now uint64) (reason uint64, ready int) {
+	for i, r := range a.queue {
+		if r.Arrive > now {
+			continue
+		}
+		ready++
+		if reason != 0 {
+			continue
+		}
+		switch {
+		case len(a.inflight) >= a.MaxConcur:
+			reason = trace.DenyConcurrency
+		case !r.Split && !a.Policy.MayGrant(r, a.commits):
+			reason = trace.DenyPolicy
+		case a.sameProcEarlier(r, i):
+			reason = trace.DenyProcOrder
+		case a.conflictsInflight(r):
+			reason = trace.DenyConflict
+		}
+	}
+	return reason, ready
 }
 
 // NextEventAfter returns the earliest future time at which the arbiter's

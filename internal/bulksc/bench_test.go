@@ -6,6 +6,7 @@ import (
 	"delorean/internal/isa"
 	"delorean/internal/mem"
 	"delorean/internal/sim"
+	"delorean/internal/trace"
 )
 
 // BenchmarkChunkStartSquash measures the chunk lifecycle hot path: start
@@ -36,7 +37,7 @@ func BenchmarkChunkStartSquash(b *testing.B) {
 // speed up. The seq/par4 pair tracks the scheduler's scaling in
 // `go test -bench` without needing the experiment harness.
 func BenchmarkEngineRun(b *testing.B) {
-	bench := func(parallel int) func(*testing.B) {
+	bench := func(parallel int, traced bool) func(*testing.B) {
 		return func(b *testing.B) {
 			cfg := sim.Default8()
 			cfg.NProcs = 4
@@ -53,12 +54,19 @@ func BenchmarkEngineRun(b *testing.B) {
 					Mem:      mem.New(),
 					Parallel: parallel,
 				}
+				if traced {
+					e.Trace = trace.NewSink(cfg.NProcs)
+				}
 				if st := e.Run(); !st.Converged {
 					b.Fatalf("engine did not converge")
 				}
 			}
 		}
 	}
-	b.Run("seq", bench(1))
-	b.Run("par4", bench(4))
+	b.Run("seq", bench(1, false))
+	b.Run("par4", bench(4, false))
+	// The traced pair bounds the observability layer's enabled cost; the
+	// untraced pair above is the <2%-overhead-when-disabled reference.
+	b.Run("seq-traced", bench(1, true))
+	b.Run("par4-traced", bench(4, true))
 }

@@ -11,6 +11,7 @@ import (
 	"delorean/internal/rng"
 	"delorean/internal/signature"
 	"delorean/internal/sim"
+	"delorean/internal/trace"
 )
 
 // Engine is the chunked multiprocessor. Configure the fields, then call
@@ -55,6 +56,11 @@ type Engine struct {
 	// 0 or 1 selects the sequential reference scheduler; every worker
 	// count produces byte-identical Stats, logs and observer streams.
 	Parallel int
+	// Trace, when non-nil, receives the run's execution timeline and
+	// end-of-run counter aggregates. It must be built for NProcs
+	// processors (trace.NewSink). Tracing is observation-only: Stats,
+	// logs and observer streams are byte-identical with it on or off.
+	Trace *trace.Sink
 
 	arb    *arbiter.Arbiter
 	ms     *sim.MemSys
@@ -74,10 +80,13 @@ type Engine struct {
 	noteBuf  []pendingNote // scratch: squash notes gathered at the barrier
 	winStats WindowStats   // barrier-frequency diagnostics (parallel runs)
 
+	// gtr caches Trace's global stream (nil when tracing is off) so the
+	// serial-side emission sites pay one nil check when disabled.
+	gtr *trace.Stream
+
 	doneCores      int
 	lastCkptAt     uint64
 	tokenTrack     int  // PicoLog: token holder after the APPLIED commits
-	dmaQueuedIdx   int  // record mode: next device DMA to schedule
 	replayDMAOpen  bool // replay: a DMA request is queued at the arbiter
 	inputStarved   bool // replay: an input log ran dry mid-run (corrupt log)
 	lastCommitTime uint64
@@ -152,6 +161,11 @@ type core struct {
 	wakeOK    bool
 	outEvents []event
 	notes     []pendingNote
+
+	// tr is this core's trace stream (nil when tracing is off). A core
+	// appends only to its own stream, so emission inside parallel windows
+	// needs no locks and no buffering.
+	tr *trace.Stream
 
 	useful     uint64
 	wasted     uint64
@@ -273,11 +287,44 @@ func (e *Engine) releaseChunk(c *chunk.Chunk) {
 	co.free = append(co.free, c.TakeStorage())
 }
 
-// Run executes the machine to completion and returns statistics.
+// resetRun clears all per-run state so a reused Engine starts every Run
+// from scratch. Without it a second Run on the same Engine doubled
+// e.cores, accumulated e.stats, and reported the previous run's
+// WindowStats — violating the "all zero after a sequential run"
+// contract on WindowStats.
+//
+// Configuration fields are left alone. Note that a stateful Policy or
+// ReplaySource (LogOrder, replay log cursors) carries its own position
+// across runs: callers reusing an Engine must install fresh ones, just
+// as they must provide a fresh Mem image.
+func (e *Engine) resetRun() {
+	e.arb = nil
+	e.ms = nil
+	e.cores = nil
+	e.events = nil
+	e.stats = Stats{}
+	e.now = 0
+	e.parMode = false
+	e.inWindow = false
+	e.elig = nil
+	e.noteBuf = nil
+	e.winStats = WindowStats{}
+	e.gtr = nil
+	e.doneCores = 0
+	e.lastCkptAt = 0
+	e.tokenTrack = 0
+	e.replayDMAOpen = false
+	e.inputStarved = false
+	e.lastCommitTime = 0
+}
+
+// Run executes the machine to completion and returns statistics. The
+// returned Stats does not alias engine state and survives reuse.
 func (e *Engine) Run() Stats {
 	if len(e.Progs) != e.Cfg.NProcs {
 		panic(fmt.Sprintf("bulksc: %d programs for %d processors", len(e.Progs), e.Cfg.NProcs))
 	}
+	e.resetRun()
 	if e.Devs == nil {
 		e.Devs = device.New(0)
 	}
@@ -287,9 +334,15 @@ func (e *Engine) Run() Stats {
 	if e.Policy == nil {
 		e.Policy = arbiter.FreeOrder{}
 	}
+	if e.Trace != nil && e.Trace.NProcs() != e.Cfg.NProcs {
+		panic(fmt.Sprintf("bulksc: trace sink built for %d processors, machine has %d",
+			e.Trace.NProcs(), e.Cfg.NProcs))
+	}
+	e.gtr = e.Trace.Global()
 	e.parMode = e.Parallel > 1 && e.Cfg.NProcs > 1
 	e.arb = arbiter.New(e.Cfg.ArbLat, e.Cfg.CommitDur, e.Cfg.MaxConcurCommits, e.Policy)
 	e.arb.Exact = e.ExactConflicts
+	e.arb.Trace = e.gtr
 	e.ms = sim.NewMemSys(&e.Cfg)
 	e.stats.TruncBy = make(map[chunk.TruncReason]uint64)
 
@@ -298,6 +351,7 @@ func (e *Engine) Run() Stats {
 	}
 	for p := 0; p < e.Cfg.NProcs; p++ {
 		co := &core{proc: p, prog: e.Progs[p], tm: sim.NewCoreTiming(&e.Cfg)}
+		co.tr = e.Trace.Proc(p)
 		co.ts.Reg[15] = int64(p)
 		co.ts.Reg[14] = int64(e.Cfg.NProcs)
 		// Per-core random streams: deriving each from (seed, proc) keeps
@@ -352,7 +406,7 @@ func (e *Engine) Run() Stats {
 	}
 
 	e.finishStats(budget)
-	return e.stats
+	return e.stats.clone()
 }
 
 // execCount sums executed instructions (useful and squashed) across
@@ -449,6 +503,63 @@ func (e *Engine) finishStats(budget uint64) {
 	s.TrafficBytes += s.Chunks * (signature.Bits/8 + 16)
 	s.TrafficBytes += s.Squashes * 64
 	_ = budget
+	if e.Trace != nil {
+		e.fillCounters()
+	}
+}
+
+// fillCounters publishes end-of-run aggregates into the trace sink's
+// counter registry: the Stats fields, the per-cause stall breakdown the
+// timing model keeps, arbiter contention, and scheduler diagnostics.
+func (e *Engine) fillCounters() {
+	r := e.Trace.Counters
+	if r == nil {
+		return
+	}
+	s := &e.stats
+	r.Set("cycles", float64(s.Cycles))
+	r.Set("insts.useful", float64(s.Insts))
+	r.Set("insts.wasted", float64(s.WastedInsts))
+	r.Set("mem.ops", float64(s.MemOps))
+	r.Set("io.ops", float64(s.IOOps))
+	r.Set("interrupts", float64(s.Interrupts))
+	r.Set("dma.commits", float64(s.DMAs))
+	r.Set("chunks.committed", float64(s.Chunks))
+	r.Set("squashes.total", float64(s.Squashes))
+	r.Set("squashes.spurious", float64(s.SpuriousSquashes))
+	r.Set("traffic.bytes", float64(s.TrafficBytes))
+	for reason, n := range s.TruncBy {
+		r.Set("trunc."+reason.String(), float64(n))
+	}
+	var rob, sb, drain, reg, ext, mshr uint64
+	for _, co := range e.cores {
+		rob += co.tm.RobStallCycles
+		sb += co.tm.SBStallCycles
+		drain += co.tm.DrainStallCycles
+		reg += co.tm.RegStallCycles
+		ext += co.tm.ExtStallCycles
+		mshr += co.tm.MSHRWaitCycles
+	}
+	r.Set("stall.total", float64(s.StallCycles))
+	r.Set("stall.rob", float64(rob))
+	r.Set("stall.store-buffer", float64(sb))
+	r.Set("stall.drain", float64(drain))
+	r.Set("stall.reg-dep", float64(reg))
+	r.Set("stall.external", float64(ext))
+	r.Set("stall.chunk-slot", float64(s.SlotStallCycles))
+	r.Set("mshr.wait-cycles", float64(mshr))
+	ast := e.arb.StatsAt(e.now)
+	r.Set("arb.grants", float64(ast.Grants))
+	r.Set("arb.ready-avg", ast.ReadyProcsAvg)
+	r.Set("arb.commit-avg", ast.ActualCommitAvg)
+	r.Set("sched.windows", float64(e.winStats.Windows))
+	r.Set("sched.serial-events", float64(e.winStats.SerialEvents))
+	for _, co := range e.cores {
+		p := fmt.Sprintf("p%d.", co.proc)
+		r.Set(p+"cycles", float64(co.tm.Clock))
+		r.Set(p+"insts", float64(co.useful))
+		r.Set(p+"stall", float64(co.tm.StallCycles))
+	}
 }
 
 // ---- core stepping ----
@@ -482,6 +593,12 @@ func (e *Engine) unblock(co *core) {
 	co.tm.AdvanceTo(e.now)
 	if was == waitSlot && co.tm.Clock > co.blockStart {
 		co.slotStall += co.tm.Clock - co.blockStart
+	}
+	// unblock only runs from commit application — a serial section — so
+	// the stall event goes to the global stream.
+	if e.gtr != nil && co.tm.Clock > co.blockStart {
+		e.gtr.Emit(trace.Event{Time: e.now, Proc: int32(co.proc), Kind: trace.Stall,
+			A: co.tm.Clock - co.blockStart, B: uint64(was)})
 	}
 	co.epoch++
 	e.reschedule(co)
@@ -747,6 +864,13 @@ func (e *Engine) completeChunk(co *core, reason chunk.TruncReason) {
 		arrive = co.lastReqArrive + 1
 	}
 	co.lastReqArrive = arrive
+	if co.tr != nil {
+		co.tr.Emit(trace.Event{Time: ready, Proc: int32(co.proc), Kind: trace.ChunkComplete,
+			Seq: c.SeqID, A: uint64(c.Insts), B: uint64(reason),
+			C: uint64(c.RSig.PopCount())<<32 | uint64(c.WSig.PopCount())})
+		co.tr.Emit(trace.Event{Time: arrive, Proc: int32(co.proc), Kind: trace.ChunkSubmit,
+			Seq: c.SeqID, A: uint64(c.Insts)})
+	}
 	req := &arbiter.Request{
 		Proc:   co.proc,
 		Arrive: arrive,
@@ -788,6 +912,10 @@ func (e *Engine) peekIRQ(co *core) (device.Interrupt, bool) {
 
 func (e *Engine) squashSelfForInterrupt(co *core) {
 	c := co.cur
+	if co.tr != nil {
+		co.tr.Emit(trace.Event{Time: co.tm.Clock, Proc: int32(co.proc), Kind: trace.ChunkSquash,
+			Seq: c.SeqID, A: uint64(c.Insts), B: uint64(co.proc)})
+	}
 	co.wasted += uint64(c.Insts)
 	co.squashes++
 	if e.inWindow {
@@ -859,6 +987,10 @@ func (e *Engine) startChunk(co *core) bool {
 	}
 	co.chunks = append(co.chunks, nc)
 	co.cur = nc
+	if co.tr != nil {
+		co.tr.Emit(trace.Event{Time: co.tm.Clock, Proc: int32(co.proc), Kind: trace.ChunkStart,
+			Seq: nc.SeqID, A: uint64(nc.Target)})
+	}
 	return true
 }
 
@@ -1035,6 +1167,10 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 		e.stats.DMAs++
 		e.replayDMAOpen = false
 		e.Obs.OnDMACommit(g.Slot, p.addr, p.data)
+		if e.gtr != nil {
+			e.gtr.Emit(trace.Event{Time: e.now, Proc: -1, Kind: trace.DMACommit,
+				A: g.Slot, B: uint64(len(p.data))})
+		}
 		e.squashConflicting(-1, g.WSig, g.WLines)
 		e.maybeCheckpoint(g.Slot + 1)
 		return
@@ -1096,6 +1232,11 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 		RSig:      &c.RSig,
 		WSig:      &c.WSig,
 	})
+	if e.gtr != nil {
+		e.gtr.Emit(trace.Event{Time: e.now, Proc: int32(c.Proc), Kind: trace.ChunkCommit,
+			Seq: c.SeqID, A: g.Slot, B: uint64(c.Insts),
+			C: uint64(c.RSig.PopCount())<<32 | uint64(c.WSig.PopCount())})
+	}
 
 	e.squashConflicting(c.Proc, &c.WSig, c.WLines())
 	e.releaseChunk(c)
@@ -1183,11 +1324,19 @@ func (e *Engine) squashFrom(co *core, idx int, committer int) {
 		return false
 	}
 	e.arb.Withdraw(e.now, inDying)
+	by := committer
+	if by < 0 {
+		by = DMAProc(e.Cfg.NProcs)
+	}
 	for _, d := range dying {
 		co.wasted += uint64(d.Insts)
 		co.squashes++
 		e.stats.Squashes++
 		e.Obs.OnSquash(co.proc, d.SeqID, d.Insts, committer)
+		if e.gtr != nil {
+			e.gtr.Emit(trace.Event{Time: e.now, Proc: int32(co.proc), Kind: trace.ChunkSquash,
+				Seq: d.SeqID, A: uint64(d.Insts), B: uint64(by)})
+		}
 		e.releaseChunk(d)
 	}
 	co.chunks = co.chunks[:idx]

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"delorean/internal/chunk"
+	"delorean/internal/trace"
 )
 
 // Parallel intra-run scheduler.
@@ -138,6 +139,9 @@ func (e *Engine) runWindow(pool *corePool, horizon uint64) {
 	e.elig = elig
 	e.winStats.Windows++
 	e.winStats.EligibleCores += uint64(len(elig))
+	if e.gtr != nil {
+		e.gtr.Emit(trace.Event{Time: horizon, Proc: -1, Kind: trace.Window, A: uint64(len(elig))})
+	}
 
 	e.inWindow = true
 	if len(elig) == 1 {

@@ -1,0 +1,122 @@
+package bulksc
+
+import (
+	"reflect"
+	"testing"
+
+	"delorean/internal/chunk"
+	"delorean/internal/isa"
+	"delorean/internal/mem"
+	"delorean/internal/trace"
+)
+
+// reuseProgs is a small contended workload: squashes, truncations and
+// per-proc stats all nonzero, so accumulation bugs have state to leak.
+func reuseProgs() []*isa.Program {
+	return []*isa.Program{
+		lockIncProgram(0x1000, 0x2000, 300),
+		lockIncProgram(0x1000, 0x2000, 300),
+		atomicIncProgram(0x3000, 1200),
+		storeStream(0x8000, 1200),
+	}
+}
+
+// A reused Engine must behave exactly like a fresh one: Run resets all
+// run state, so a rerun (with fresh memory — the run mutates it) yields
+// identical stats.
+func TestEngineReuseMatchesFresh(t *testing.T) {
+	fresh := &Engine{Cfg: testConfig(4), Progs: reuseProgs()}
+	want := runEngine(t, fresh)
+
+	reused := &Engine{Cfg: testConfig(4), Progs: reuseProgs()}
+	first := runEngine(t, reused)
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("first run differs from fresh engine:\n got %+v\nwant %+v", first, want)
+	}
+	for run := 2; run <= 3; run++ {
+		reused.Mem = mem.New()
+		again := runEngine(t, reused)
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("run %d on reused engine differs:\n got %+v\nwant %+v", run, again, want)
+		}
+	}
+}
+
+// A parallel run followed by a sequential rerun on the same engine must
+// not leak window statistics: WindowStats is documented as all zero
+// after a sequential run.
+func TestEngineReuseResetsWindowStats(t *testing.T) {
+	e := &Engine{Cfg: testConfig(4), Progs: reuseProgs(), Parallel: 4}
+	runEngine(t, e)
+	if ws := e.WindowStats(); ws.Windows == 0 {
+		t.Fatalf("parallel run opened no windows: %+v", ws)
+	}
+
+	e.Mem = mem.New()
+	e.Parallel = 1
+	runEngine(t, e)
+	if ws := e.WindowStats(); ws != (WindowStats{}) {
+		t.Fatalf("sequential rerun kept stale window stats: %+v", ws)
+	}
+}
+
+// The Stats a run returns must be a snapshot: a later run on the same
+// engine must not mutate the caller's copy through the TruncBy map or
+// PerProc slice.
+func TestEngineReuseStatsNotAliased(t *testing.T) {
+	e := &Engine{Cfg: testConfig(4), Progs: reuseProgs()}
+	st1 := runEngine(t, e)
+	if len(st1.TruncBy) == 0 || len(st1.PerProc) == 0 {
+		t.Fatalf("workload exercises no truncation/per-proc stats: %+v", st1)
+	}
+	truncBy := make(map[chunk.TruncReason]uint64, len(st1.TruncBy))
+	for k, v := range st1.TruncBy {
+		truncBy[k] = v
+	}
+	perProc := append([]ProcStats(nil), st1.PerProc...)
+
+	e.Mem = mem.New()
+	runEngine(t, e)
+
+	if !reflect.DeepEqual(st1.TruncBy, truncBy) {
+		t.Errorf("second run mutated first run's TruncBy:\n got %v\nwant %v", st1.TruncBy, truncBy)
+	}
+	if !reflect.DeepEqual(st1.PerProc, perProc) {
+		t.Errorf("second run mutated first run's PerProc:\n got %v\nwant %v", st1.PerProc, perProc)
+	}
+}
+
+// A traced run must produce the identical Stats to an untraced one —
+// tracing is observation-only (the full recording/replay oracle lives in
+// internal/diffcheck; this is the engine-level smoke check).
+func TestEngineTraceObservationOnly(t *testing.T) {
+	plain := runEngine(t, &Engine{Cfg: testConfig(4), Progs: reuseProgs()})
+
+	sink := trace.NewSink(4)
+	traced := runEngine(t, &Engine{Cfg: testConfig(4), Progs: reuseProgs(), Trace: sink})
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("tracing changed stats:\n got %+v\nwant %+v", traced, plain)
+	}
+	if len(sink.Events()) == 0 {
+		t.Fatalf("traced run captured no events")
+	}
+	if sink.Counters.Get("chunks.committed") != float64(plain.Chunks) {
+		t.Errorf("counter chunks.committed = %g, stats say %d",
+			sink.Counters.Get("chunks.committed"), plain.Chunks)
+	}
+	if sink.Counters.Get("cycles") != float64(plain.Cycles) {
+		t.Errorf("counter cycles = %g, stats say %d", sink.Counters.Get("cycles"), plain.Cycles)
+	}
+}
+
+// A sink sized for the wrong processor count is a wiring bug: Run must
+// refuse it loudly rather than panic on a stray index later.
+func TestEngineTraceWrongSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mis-sized trace sink did not panic")
+		}
+	}()
+	e := &Engine{Cfg: testConfig(4), Progs: reuseProgs(), Mem: mem.New(), Trace: trace.NewSink(2)}
+	e.Run()
+}

@@ -98,14 +98,18 @@ func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.
 		ExactConflicts: opts.ExactConflicts,
 		PicoLog:        rec.Mode == PicoLog,
 		Parallel:       opts.Parallel,
+		Trace:          opts.Trace,
 		Resume:         &bulksc.Resume{Procs: cp.Procs, BaseCommits: cp.Slot},
 	}
 	st := eng.Run()
 	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}
 	if !st.Converged {
-		return res, rec.stallError(obs, st, cfg.MaxInstsOrDefault(), cp.Slot)
+		derr := rec.stallError(obs, st, cfg.MaxInstsOrDefault(), cp.Slot)
+		noteDivergence(opts.Trace, st.Cycles, derr)
+		return res, derr
 	}
 	if div := rec.divergence(obs, res, cp.Slot, cp.Fingerprint, cp.ProcChains, rec.FinalMemHash, true); div != nil {
+		noteDivergence(opts.Trace, st.Cycles, div)
 		return res, div
 	}
 	return res, nil

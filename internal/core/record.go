@@ -10,6 +10,7 @@ import (
 	"delorean/internal/signature"
 	"delorean/internal/sim"
 	"delorean/internal/stratifier"
+	"delorean/internal/trace"
 )
 
 // RecordOptions tune a recording run.
@@ -32,6 +33,11 @@ type RecordOptions struct {
 	// sequential reference scheduler). Every count records the identical
 	// logs, stats and fingerprint.
 	Parallel int
+	// Trace, when non-nil, captures the run's execution timeline into the
+	// sink (which must be built for cfg.NProcs processors) and attaches
+	// it to the returned Recording. Observation-only: the recording is
+	// byte-identical with tracing on or off.
+	Trace *trace.Sink
 }
 
 // recorder turns the engine's commit stream into a Recording. It
@@ -43,6 +49,16 @@ type recorder struct {
 	// that accumulates only the interval after its cut.
 	fps    []*fingerprint
 	nprocs int
+
+	// tr, when non-nil, receives a LogSample event per commit showing
+	// log growth over time. The bit counts are maintained incrementally
+	// (per-entry costs; CS distance escapes excluded) so sampling stays
+	// O(1) per commit where the logs' RawBits walk every entry.
+	tr       *trace.Stream
+	memBits  uint64   // cumulative memory-ordering bits (PI + CS + sizes)
+	csBits   []uint64 // per-proc CS/size bits
+	intrBits []uint64 // per-proc interrupt-log bits
+	ioBits   []uint64 // per-proc I/O-value-log bits
 }
 
 func (r *recorder) eachFP(f func(*fingerprint)) {
@@ -61,10 +77,22 @@ func (r *recorder) OnCommit(ev bulksc.CommitEvent) {
 	case OrderSize:
 		r.rec.PI.Append(ev.Proc)
 		r.rec.Sizes[ev.Proc].Append(ev.Size)
+		if r.tr != nil {
+			d := uint64(r.rec.Sizes[ev.Proc].EntryBits(ev.Size))
+			r.memBits += uint64(r.rec.PI.EntryBits()) + d
+			r.csBits[ev.Proc] += d
+		}
 	case OrderOnly:
 		r.rec.PI.Append(ev.Proc)
 		if ev.Reason.NonDeterministic() {
 			r.rec.CS[ev.Proc].Append(ev.SeqID, ev.Size)
+		}
+		if r.tr != nil {
+			r.memBits += uint64(r.rec.PI.EntryBits())
+			if ev.Reason.NonDeterministic() {
+				r.memBits += dlog.CSEntryBits
+				r.csBits[ev.Proc] += dlog.CSEntryBits
+			}
 		}
 	case PicoLog:
 		if ev.Urgent {
@@ -72,23 +100,39 @@ func (r *recorder) OnCommit(ev bulksc.CommitEvent) {
 		}
 		if ev.Reason.NonDeterministic() {
 			r.rec.CS[ev.Proc].Append(ev.SeqID, ev.Size)
+			if r.tr != nil {
+				r.memBits += dlog.CSEntryBits
+				r.csBits[ev.Proc] += dlog.CSEntryBits
+			}
 		}
 	}
 	if r.strat != nil {
 		r.strat.Add(ev.Proc, ev.RSig, ev.WSig)
 	}
 	r.eachFP(func(fp *fingerprint) { fp.commit(ev) })
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{Time: ev.Time, Proc: int32(ev.Proc), Kind: trace.LogSample,
+			A: r.memBits, B: r.csBits[ev.Proc], C: r.intrBits[ev.Proc] + r.ioBits[ev.Proc]})
+	}
 }
 
 func (r *recorder) OnSquash(int, uint64, int, int) {}
 
 func (r *recorder) OnInterrupt(proc int, seq uint64, typ, data int64, urgent bool) {
 	r.rec.Intr[proc].Append(dlog.IntrEntry{SeqID: seq, Type: typ, Data: data, Urgent: urgent})
+	if r.tr != nil {
+		// Deliveries are rare, so re-deriving the exact raw size here is
+		// cheap (the varint encoding has no O(1) per-entry cost).
+		r.intrBits[proc] = uint64(r.rec.Intr[proc].RawBits())
+	}
 	r.eachFP(func(fp *fingerprint) { fp.intr(proc, seq, typ, data) })
 }
 
 func (r *recorder) OnIORead(proc int, port int64, v uint64) {
 	r.rec.IO[proc].Append(v)
+	if r.tr != nil {
+		r.ioBits[proc] += 64
+	}
 	r.eachFP(func(fp *fingerprint) { fp.io(proc, v) })
 }
 
@@ -98,6 +142,9 @@ func (r *recorder) OnDMACommit(slot uint64, addr uint32, data []uint64) {
 	r.rec.DMA.Append(dlog.DMAEntry{Addr: addr, Data: cp, Slot: slot})
 	if r.rec.Mode != PicoLog {
 		r.rec.PI.Append(bulksc.DMAProc(r.nprocs))
+		if r.tr != nil {
+			r.memBits += uint64(r.rec.PI.EntryBits())
+		}
 	}
 	if r.strat != nil {
 		var w signature.Sig
@@ -144,6 +191,14 @@ func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory,
 	if opts.StratifyMax > 0 && mode != PicoLog {
 		r.strat = stratifier.New(cfg.NProcs, opts.StratifyMax)
 	}
+	if opts.Trace != nil {
+		// Observer callbacks run in the engine's serial sections, so the
+		// recorder's samples share the sink's global stream.
+		r.tr = opts.Trace.Global()
+		r.csBits = make([]uint64, cfg.NProcs)
+		r.intrBits = make([]uint64, cfg.NProcs)
+		r.ioBits = make([]uint64, cfg.NProcs)
+	}
 
 	var policy arbiter.Policy
 	if mode == PicoLog {
@@ -162,6 +217,7 @@ func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory,
 		ExactConflicts: opts.ExactConflicts,
 		PicoLog:        mode == PicoLog,
 		Parallel:       opts.Parallel,
+		Trace:          opts.Trace,
 	}
 	if mode == OrderSize {
 		eng.RandomTrunc = bulksc.DefaultRandomTrunc(opts.TruncSeed ^ 0xD0_0DAD)
@@ -172,6 +228,7 @@ func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory,
 	}
 	rec.Stats = eng.Run()
 	rec.Sched = eng.WindowStats()
+	rec.Trace = opts.Trace
 	if !rec.Stats.Converged {
 		return rec, errNotConverged
 	}

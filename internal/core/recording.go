@@ -27,6 +27,7 @@ import (
 	"delorean/internal/dlog"
 	"delorean/internal/sim"
 	"delorean/internal/stratifier"
+	"delorean/internal/trace"
 )
 
 // Mode selects DeLorean's execution mode (paper Table 2).
@@ -111,6 +112,11 @@ type Recording struct {
 	// replay matching — the simulated execution is byte-identical at
 	// every worker count.
 	Sched bulksc.WindowStats
+
+	// Trace is the execution timeline captured when recording with
+	// RecordOptions.Trace (nil otherwise). Host-side observability only:
+	// not serialized by WriteTo and not part of replay matching.
+	Trace *trace.Sink
 }
 
 // MemOrderingRawBits returns the uncompressed memory-ordering log size in

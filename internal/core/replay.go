@@ -11,6 +11,7 @@ import (
 	"delorean/internal/mem"
 	"delorean/internal/sim"
 	"delorean/internal/stratifier"
+	"delorean/internal/trace"
 )
 
 // ReplayResult is the outcome of a deterministic replay.
@@ -266,6 +267,11 @@ type ReplayOptions struct {
 	// Parallel sets the engine's intra-run worker count (0/1: the
 	// sequential reference scheduler). Every count replays identically.
 	Parallel int
+	// Trace, when non-nil, captures the replay's execution timeline into
+	// the sink (built for the recording's processor count), including a
+	// Divergence event locating the first detected divergence if the
+	// replay fails to reproduce the recording. Observation-only.
+	Trace *trace.Sink
 }
 
 // Replay re-executes progs deterministically from rec. cfg should
@@ -326,14 +332,35 @@ func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOpt
 		ExactConflicts: opts.ExactConflicts,
 		PicoLog:        rec.Mode == PicoLog,
 		Parallel:       opts.Parallel,
+		Trace:          opts.Trace,
 	}
 	st := eng.Run()
 	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}
 	if !st.Converged {
-		return res, rec.stallError(obs, st, cfg.MaxInstsOrDefault(), 0)
+		derr := rec.stallError(obs, st, cfg.MaxInstsOrDefault(), 0)
+		noteDivergence(opts.Trace, st.Cycles, derr)
+		return res, derr
 	}
 	if div := rec.divergence(obs, res, 0, rec.Fingerprint, rec.ProcChains, rec.FinalMemHash, !opts.UseStratified); div != nil {
+		noteDivergence(opts.Trace, st.Cycles, div)
 		return res, div
 	}
 	return res, nil
+}
+
+// noteDivergence marks a located replay divergence on the trace
+// timeline (Seq/A carry ^0 when the position could not be narrowed to a
+// chunk or commit slot).
+func noteDivergence(sink *trace.Sink, t uint64, d *DivergenceError) {
+	if sink == nil || d == nil {
+		return
+	}
+	seq, slot := ^uint64(0), ^uint64(0)
+	if d.SeqID >= 0 {
+		seq = uint64(d.SeqID)
+	}
+	if d.Slot >= 0 {
+		slot = uint64(d.Slot)
+	}
+	sink.Global().Emit(trace.Event{Time: t, Proc: int32(d.Proc), Kind: trace.Divergence, Seq: seq, A: slot})
 }

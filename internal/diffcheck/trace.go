@@ -1,0 +1,129 @@
+package diffcheck
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+
+	"delorean/internal/bulksc"
+	"delorean/internal/core"
+	"delorean/internal/mem"
+	"delorean/internal/metrics"
+	"delorean/internal/trace"
+)
+
+// CheckTracing runs the observability oracle for one seed: tracing must
+// be observation-only. For every mode it records untraced (the baseline)
+// and traced at each worker count, demanding byte-identical serialized
+// recordings and identical Stats; it then demands the captured timeline
+// itself be identical across worker counts (after dropping the
+// scheduler's self-description, the one legitimately worker-dependent
+// part), and replays the recording traced and untraced, demanding the
+// same verdict and stats. Deterministic in (seed, opts).
+func CheckTracing(seed uint64, opts Options) Report {
+	rep := Report{Seed: seed}
+	cfg := opts.machine()
+	progs := GenPrograms(seed, opts.NProcs, opts.Gen)
+
+	for _, mode := range modes {
+		record := func(par int, sink *trace.Sink) (*core.Recording, error) {
+			return core.Record(cfg, mode, progs, mem.New(), GenDevices(seed, opts.NProcs, opts.Gen),
+				core.RecordOptions{TruncSeed: seed, Parallel: par, Trace: sink})
+		}
+
+		base, err := record(0, nil)
+		if err != nil {
+			rep.failf("%v: untraced record: %v", mode, err)
+			continue
+		}
+		baseBytes := serialize(&rep, mode, base)
+		if baseBytes == nil {
+			continue
+		}
+
+		// Oracle: a traced recording is byte-identical to an untraced one
+		// at every worker count, and the timelines agree across counts.
+		var refEvents []trace.Event
+		var refCounters []metrics.Counter
+		pars := opts.Parallel
+		if len(pars) == 0 {
+			pars = []int{1}
+		}
+		for _, par := range pars {
+			sink := trace.NewSink(opts.NProcs)
+			recT, err := record(par, sink)
+			if err != nil {
+				rep.failf("%v: traced record parallel=%d: %v", mode, par, err)
+				continue
+			}
+			rep.check(reflect.DeepEqual(recT.Stats, base.Stats),
+				"%v: parallel=%d traced stats differ from untraced", mode, par)
+			if b := serialize(&rep, mode, recT); b != nil {
+				rep.check(bytes.Equal(b, baseBytes),
+					"%v: parallel=%d traced recording bytes differ from untraced", mode, par)
+			}
+			rep.check(len(sink.Events()) > 0, "%v: parallel=%d captured no events", mode, par)
+
+			evs := schedulerFreeEvents(sink)
+			ctrs := schedulerFreeCounters(sink)
+			if refEvents == nil {
+				refEvents, refCounters = evs, ctrs
+				continue
+			}
+			rep.check(reflect.DeepEqual(evs, refEvents),
+				"%v: parallel=%d trace events differ from parallel=%d (%d vs %d events)",
+				mode, par, pars[0], len(evs), len(refEvents))
+			rep.check(reflect.DeepEqual(ctrs, refCounters),
+				"%v: parallel=%d trace counters differ from parallel=%d", mode, par, pars[0])
+		}
+
+		// Oracle: tracing a replay changes neither the verdict nor the
+		// stats, and the sink sees the replay's commits.
+		resPlain, errPlain := core.Replay(base, core.ReplayConfig(cfg), progs, core.ReplayOptions{
+			Perturb: bulksc.DefaultPerturb(seed*7 + 3),
+		})
+		sink := trace.NewSink(opts.NProcs)
+		resTraced, errTraced := core.Replay(base, core.ReplayConfig(cfg), progs, core.ReplayOptions{
+			Perturb: bulksc.DefaultPerturb(seed*7 + 3),
+			Trace:   sink,
+		})
+		rep.check((errPlain == nil) == (errTraced == nil),
+			"%v: traced replay verdict differs: %v vs %v", mode, errPlain, errTraced)
+		if errPlain == nil && errTraced == nil {
+			rep.check(resPlain.Matches(base) && resTraced.Matches(base),
+				"%v: replay does not match recording (plain=%v traced=%v)",
+				mode, resPlain.Matches(base), resTraced.Matches(base))
+			rep.check(reflect.DeepEqual(resPlain.Stats, resTraced.Stats),
+				"%v: traced replay stats differ from untraced", mode)
+			rep.check(len(sink.Events()) > 0, "%v: traced replay captured no events", mode)
+		}
+	}
+	return rep
+}
+
+// schedulerFreeEvents returns the sink's merged timeline minus Window
+// events — the parallel scheduler's self-description is the only trace
+// content allowed to vary with the worker count.
+func schedulerFreeEvents(s *trace.Sink) []trace.Event {
+	out := []trace.Event{}
+	for _, ev := range s.Events() {
+		if ev.Kind == trace.Window {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// schedulerFreeCounters returns the counter snapshot minus the sched.*
+// namespace (see schedulerFreeEvents).
+func schedulerFreeCounters(s *trace.Sink) []metrics.Counter {
+	out := []metrics.Counter{}
+	for _, c := range s.Counters.Snapshot() {
+		if strings.HasPrefix(c.Name, "sched.") {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

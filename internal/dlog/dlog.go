@@ -257,6 +257,16 @@ func (l *SizeLog) Append(size int) {
 // Sizes returns the recorded sizes.
 func (l *SizeLog) Sizes() []int { return l.sizes }
 
+// EntryBits returns the raw-bit cost of recording one chunk of the given
+// size (1 bit for a full-size chunk, 1+sizeBits otherwise) — an O(1)
+// increment for observability counters, where RawBits walks every entry.
+func (l *SizeLog) EntryBits(size int) int {
+	if size == l.maxSize {
+		return 1
+	}
+	return 1 + l.sizeBits
+}
+
 // Len returns the number of chunks recorded.
 func (l *SizeLog) Len() int { return len(l.sizes) }
 

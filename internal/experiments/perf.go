@@ -228,8 +228,8 @@ func Fig11(c Config) ([]Fig11Row, error) {
 			rows = append(rows, Fig11Row{
 				Workload:  name,
 				Mode:      spec.label,
-				Execution: float64(rc.Cycles) / float64(rec.Stats.Cycles),
-				Replay:    float64(rc.Cycles) / metrics.Mean(cyc),
+				Execution: metrics.SafeDiv(float64(rc.Cycles), float64(rec.Stats.Cycles)),
+				Replay:    metrics.SafeDiv(float64(rc.Cycles), metrics.Mean(cyc)),
 			})
 		}
 	}
@@ -318,7 +318,7 @@ func Fig12(c Config, procs []int, chunkSizes []int, simuls []int) ([]Fig12Row, e
 		if !st.Converged {
 			return 0, fmt.Errorf("%s@%dp cs=%d sm=%d: did not converge", t.name, t.np, t.cs, t.sm)
 		}
-		return float64(rc.Cycles) / float64(st.Cycles), nil
+		return metrics.SafeDiv(float64(rc.Cycles), float64(st.Cycles)), nil
 	})
 	if err != nil {
 		return nil, err

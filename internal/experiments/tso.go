@@ -54,8 +54,8 @@ func TSOStudy(c Config) ([]TSORow, error) {
 
 		return TSORow{
 			Workload:     name,
-			TSOSpeed:     float64(rc.Cycles) / float64(tso.Cycles),
-			SCSpeed:      float64(rc.Cycles) / float64(scStats.Cycles),
+			TSOSpeed:     metrics.SafeDiv(float64(rc.Cycles), float64(tso.Cycles)),
+			SCSpeed:      metrics.SafeDiv(float64(rc.Cycles), float64(scStats.Cycles)),
 			AdvRTRLog:    baseline.BitsPerProcPerKinst(adv.CompressedBits(), c.Procs, tso.Insts),
 			BasicRTRLog:  baseline.BitsPerProcPerKinst(basic.CompressedBits(), c.Procs, scRun.Insts),
 			ValueEntries: adv.ValueEntries(),

@@ -25,6 +25,20 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(sum / float64(n))
 }
 
+// SafeDiv returns num/den, or 0 when the division is undefined or
+// non-finite (den zero, or a NaN/Inf operand) — the guard Stats.IPC
+// applies, shared so derived-metric tables can never leak NaN/Inf cells.
+func SafeDiv(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	v := num / den
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -98,9 +112,12 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// F formats a float compactly for table cells.
+// F formats a float compactly for table cells. Non-finite values render
+// as "n/a" rather than leaking NaN/Inf into experiment tables.
 func F(v float64) string {
 	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		return "n/a"
 	case v == 0:
 		return "0"
 	case math.Abs(v) < 0.01:

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSafeDiv(t *testing.T) {
+	cases := []struct {
+		num, den, want float64
+	}{
+		{10, 4, 2.5},
+		{10, 0, 0},
+		{0, 0, 0},
+		{-3, 0, 0},
+		{math.Inf(1), 2, 0},
+		{math.NaN(), 2, 0},
+		{2, math.NaN(), 0},
+		{1, math.Inf(1), 0}, // 1/Inf = 0: fine either way, must not be NaN
+	}
+	for _, c := range cases {
+		got := SafeDiv(c.num, c.den)
+		if got != c.want {
+			t.Errorf("SafeDiv(%g, %g) = %g, want %g", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestFNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := F(v); got != "n/a" {
+			t.Errorf("F(%g) = %q, want n/a", v, got)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 0 {
+		t.Fatalf("new registry Len = %d", r.Len())
+	}
+	r.Add("b.count", 2)
+	r.Add("b.count", 3)
+	r.Set("a.value", 7.5)
+	r.Set("a.value", 1.5) // Set overwrites
+	if got := r.Get("b.count"); got != 5 {
+		t.Errorf("Get(b.count) = %g, want 5", got)
+	}
+	if got := r.Get("a.value"); got != 1.5 {
+		t.Errorf("Get(a.value) = %g, want 1.5", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %g, want 0", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a.value" || snap[1].Name != "b.count" {
+		t.Fatalf("Snapshot not name-sorted: %v", snap)
+	}
+	if snap[0].Value != 1.5 || snap[1].Value != 5 {
+		t.Fatalf("Snapshot values: %v", snap)
+	}
+
+	tb := r.Table("counters")
+	out := tb.Render()
+	if !strings.Contains(out, "a.value") || !strings.Contains(out, "b.count") {
+		t.Errorf("Table render missing counters:\n%s", out)
+	}
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1) // must not panic
+	r.Set("x", 1)
+	if r.Get("x") != 0 || r.Len() != 0 || r.Snapshot() != nil {
+		t.Errorf("nil registry not inert")
+	}
+}

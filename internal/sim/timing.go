@@ -35,6 +35,21 @@ type CoreTiming struct {
 	// StallCycles accumulates cycles the core spent waiting (ROB full,
 	// store buffer full, drains). Used for Table 6 style reporting.
 	StallCycles uint64
+
+	// Stall-cause breakdown (subsets of StallCycles, kept unconditionally —
+	// a handful of adds on paths that are already stalling). RegStallCycles
+	// covers address/data dependences on pending loads; ExtStallCycles the
+	// externally imposed waits (commit grants, chunk slots, the engine's
+	// AdvanceTo resumes).
+	RobStallCycles   uint64
+	SBStallCycles    uint64
+	DrainStallCycles uint64
+	RegStallCycles   uint64
+	ExtStallCycles   uint64
+	// MSHRWaitCycles accumulates the latency added by waiting for an MSHR
+	// slot (miss-level-parallelism pressure). It does not stall the core
+	// clock directly, so it is not part of StallCycles.
+	MSHRWaitCycles uint64
 }
 
 type pendOp struct {
@@ -59,6 +74,17 @@ func maxu(a, b uint64) uint64 {
 func (c *CoreTiming) advance(t uint64) {
 	if t > c.Clock {
 		c.StallCycles += t - c.Clock
+		c.Clock = t
+	}
+}
+
+// advanceAs moves the clock forward to t, attributing the stall to the
+// given breakdown counter as well as the aggregate.
+func (c *CoreTiming) advanceAs(t uint64, cause *uint64) {
+	if t > c.Clock {
+		d := t - c.Clock
+		c.StallCycles += d
+		*cause += d
 		c.Clock = t
 	}
 }
@@ -96,7 +122,7 @@ func (c *CoreTiming) reap() {
 func (c *CoreTiming) robAdmit(done uint64) {
 	c.reap()
 	for len(c.pend) > 0 && c.Seq-c.pend[0].seq >= uint64(c.cfg.ROB) {
-		c.advance(c.pend[0].done)
+		c.advanceAs(c.pend[0].done, &c.RobStallCycles)
 		c.pend = c.pend[1:]
 	}
 	if done > c.Clock {
@@ -119,6 +145,9 @@ func (c *CoreTiming) mshrStart() uint64 {
 			}
 		}
 		c.mshr = append(c.mshr[:idx], c.mshr[idx+1:]...)
+		if earliest > start {
+			c.MSHRWaitCycles += earliest - start
+		}
 		start = maxu(start, earliest)
 	}
 	return start
@@ -131,7 +160,7 @@ func (c *CoreTiming) mshrFinish(done uint64) {
 // WaitReg stalls issue until register r's value is available (address or
 // store-data dependence on a pending load).
 func (c *CoreTiming) WaitReg(r uint8) {
-	c.advance(c.regReady[r])
+	c.advanceAs(c.regReady[r], &c.RegStallCycles)
 }
 
 // RegReady exposes the register-availability array so the interpreter can
@@ -141,7 +170,7 @@ func (c *CoreTiming) RegReady() *[16]uint64 { return &c.regReady }
 // AdvanceTo moves the clock forward to t (a no-op if t is in the past),
 // accounting the wait as stall cycles — used when a core blocked on an
 // external event (a commit grant, a chunk slot) resumes.
-func (c *CoreTiming) AdvanceTo(t uint64) { c.advance(t) }
+func (c *CoreTiming) AdvanceTo(t uint64) { c.advanceAs(t, &c.ExtStallCycles) }
 
 // SetRegReady records that register r becomes available at t (chunk
 // engine loads).
@@ -178,7 +207,7 @@ func (c *CoreTiming) StoreRC(lat uint64, isHit bool) uint64 {
 	c.Seq++
 	c.reap()
 	for len(c.stores) >= c.cfg.StoreBuf {
-		c.advance(c.stores[0])
+		c.advanceAs(c.stores[0], &c.SBStallCycles)
 		c.stores = c.stores[1:]
 	}
 	var done uint64
@@ -201,7 +230,7 @@ func (c *CoreTiming) StoreTSO(lat uint64, isHit bool) uint64 {
 	c.Seq++
 	c.reap()
 	for len(c.stores) >= c.cfg.StoreBuf {
-		c.advance(c.stores[0])
+		c.advanceAs(c.stores[0], &c.SBStallCycles)
 		c.stores = c.stores[1:]
 	}
 	var fetched uint64
@@ -260,7 +289,7 @@ func (c *CoreTiming) Drain() {
 	for _, d := range c.mshr {
 		t = maxu(t, d)
 	}
-	c.advance(t)
+	c.advanceAs(t, &c.DrainStallCycles)
 	c.pend = c.pend[:0]
 	c.stores = c.stores[:0]
 	c.mshr = c.mshr[:0]
@@ -274,7 +303,7 @@ func (c *CoreTiming) DrainStores() {
 	for _, d := range c.stores {
 		t = maxu(t, d)
 	}
-	c.advance(t)
+	c.advanceAs(t, &c.DrainStallCycles)
 	c.stores = c.stores[:0]
 }
 
