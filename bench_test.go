@@ -319,3 +319,53 @@ func BenchmarkTSOStudy(b *testing.B) {
 		b.ReportMetric(gm.AdvRTRLog, "AdvRTRbits")
 	}
 }
+
+// replayBench builds (once) the shared checkpointed recording the
+// BenchmarkReplay variants replay: 4 processors, a checkpoint every 20
+// chunk commits — enough intervals for the segmented fan-out to balance.
+var (
+	replayBenchOnce sync.Once
+	replayBenchRec  *Recording
+)
+
+func replayBench(b *testing.B) *Recording {
+	replayBenchOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Processors = 4
+		cfg.CheckpointEvery = 20
+		w := NewWorkload("raytrace", 4, 150_000, 1)
+		if rec, err := Record(cfg, OrderOnly, w); err == nil {
+			replayBenchRec = rec
+		}
+	})
+	if replayBenchRec == nil {
+		b.Fatal("bench recording failed")
+	}
+	return replayBenchRec
+}
+
+// BenchmarkReplay compares sequential replay against checkpoint-
+// partitioned parallel replay of the same recording. The speedup is
+// host wall-clock: the simulated execution and the verdict are
+// identical in both variants.
+func BenchmarkReplay(b *testing.B) {
+	for _, par := range []int{0, 4} {
+		name := "seq"
+		if par > 0 {
+			name = fmt.Sprintf("par%d", par)
+		}
+		b.Run(name, func(b *testing.B) {
+			rec := replayBench(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := rec.Replay(ReplayWith{Parallel: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Deterministic {
+					b.Fatal("replay diverged")
+				}
+			}
+		})
+	}
+}

@@ -8,8 +8,8 @@
 //	delorean-exp -exp fig10,table6   # a subset
 //
 // Artifacts: table1 table5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table6
-// baselines tso. Flags scale the runs; see EXPERIMENTS.md for the
-// recorded full-scale results.
+// replayspeed baselines tso. Flags scale the runs; see EXPERIMENTS.md
+// for the recorded full-scale results.
 package main
 
 import (
@@ -156,6 +156,10 @@ func main() {
 	run("table6", func() (string, error) {
 		rows, err := experiments.Table6(cfg)
 		return experiments.RenderTable6(rows), err
+	})
+	run("replayspeed", func() (string, error) {
+		rows, err := experiments.ReplaySpeed(cfg, nil)
+		return experiments.RenderReplaySpeed(rows), err
 	})
 	run("baselines", func() (string, error) {
 		rows, err := experiments.Baselines(cfg)

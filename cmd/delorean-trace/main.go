@@ -139,8 +139,33 @@ func inspect(out io.Writer, rec *core.Recording, piN int, showCS, showIn bool) {
 	fmt.Fprintln(out, rec.String())
 	fmt.Fprintf(out, "  fingerprint %016x, final memory hash %016x\n", rec.Fingerprint, rec.FinalMemHash)
 	fmt.Fprintf(out, "  checkpoint: %d nonzero words\n", len(rec.InitialMem))
-	fmt.Fprintf(out, "  execution: %d cycles, %d instructions, %d chunks\n\n",
+	fmt.Fprintf(out, "  execution: %d cycles, %d instructions, %d chunks\n",
 		rec.Stats.Cycles, rec.Stats.Insts, rec.Stats.Chunks)
+
+	if len(rec.Checkpoints) > 0 {
+		// Per-checkpoint storage: what the delta encoding stores (the
+		// words that changed since the previous cut) against what a
+		// full-image scheme would store (the whole materialized memory),
+		// both as raw 12-byte addr/value words before compression.
+		fmt.Fprintf(out, "interval checkpoints (%d):\n", len(rec.Checkpoints))
+		deltaW, fullW := 0, 0
+		for i := range rec.Checkpoints {
+			cp := &rec.Checkpoints[i]
+			full := 0
+			if img, err := rec.MaterializeCheckpoint(i); err == nil {
+				full = len(img)
+			}
+			fmt.Fprintf(out, "  checkpoint %d @ slot %d: delta %d words (%d B), full image %d words (%d B)\n",
+				i, cp.Slot, len(cp.MemDelta), 12*len(cp.MemDelta), full, 12*full)
+			deltaW += len(cp.MemDelta)
+			fullW += full
+		}
+		if deltaW > 0 {
+			fmt.Fprintf(out, "  delta encoding: %d words stored vs %d full-image (%.2fx smaller)\n",
+				deltaW, fullW, float64(fullW)/float64(deltaW))
+		}
+	}
+	fmt.Fprintln(out)
 
 	if rec.PI != nil && piN > 0 {
 		entries := rec.PI.Entries()

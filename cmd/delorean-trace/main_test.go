@@ -14,16 +14,18 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files and the committed test recording")
 
 // testRecording returns the committed test recording (testdata/run.rec:
-// raytrace, 4 procs, scale 2000, seed 1, OrderOnly — the -perfetto test
-// must regenerate the workload with these exact parameters). With
-// -update it is re-recorded first; a diff after -update means the
-// serialization format or the simulated execution changed.
+// raytrace, 4 procs, scale 2000, seed 1, OrderOnly, a checkpoint every
+// 40 commits — the -perfetto test must regenerate the workload with
+// these exact parameters). With -update it is re-recorded first; a diff
+// after -update means the serialization format or the simulated
+// execution changed.
 func testRecording(t *testing.T) string {
 	t.Helper()
 	path := filepath.Join("testdata", "run.rec")
 	if *update {
 		cfg := delorean.DefaultConfig()
 		cfg.Processors = 4
+		cfg.CheckpointEvery = 40
 		w := delorean.NewWorkload("raytrace", 4, 2000, 1)
 		rec, err := delorean.Record(cfg, delorean.OrderOnly, w)
 		if err != nil {

@@ -15,6 +15,8 @@
 //	-stratify n      also build the stratified PI log (chunks/stratum)
 //	-seed n          workload seed
 //	-simparallel n   intra-run simulator workers (default 1: sequential)
+//	-checkpoint n    take a checkpoint every n chunk commits (0: off)
+//	-replay-parallel n  replay checkpoint intervals on n workers
 //	-trace-out f     write a Perfetto/chrome trace of the run to f
 //	-list            list workloads and exit
 package main
@@ -40,6 +42,8 @@ func main() {
 		stratify = flag.Int("stratify", 0, "stratified PI log chunks/stratum (0: off)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		simpar   = flag.Int("simparallel", 1, "intra-run simulator workers (1: sequential reference scheduler)")
+		ckEvery  = flag.Uint64("checkpoint", 0, "take a checkpoint every n chunk commits (0: off)")
+		repPar   = flag.Int("replay-parallel", 0, "replay checkpoint-delimited intervals on n workers (0: sequential)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		savePath = flag.String("save", "", "save the recording to this file")
 		loadPath = flag.String("load", "", "replay a previously saved recording instead of recording")
@@ -69,6 +73,7 @@ func main() {
 	cfg.Processors = *procs
 	cfg.Stratify = *stratify
 	cfg.SimParallel = *simpar
+	cfg.CheckpointEvery = *ckEvery
 	if *chunk > 0 {
 		cfg.ChunkSize = *chunk
 	} else if mode == delorean.PicoLog {
@@ -148,11 +153,17 @@ func main() {
 	}
 	fmt.Printf("  at 5 GHz, IPC 1   ~%.1f GB/day\n", rec.EstimateLogGBPerDay(5e9))
 
-	fmt.Printf("\nreplaying %d perturbed runs...\n", *replays)
+	if *repPar > 0 && rec.Checkpoints() > 0 {
+		fmt.Printf("\nreplaying %d perturbed runs (segmented: %d intervals on %d workers)...\n",
+			*replays, rec.Checkpoints()+1, *repPar)
+	} else {
+		fmt.Printf("\nreplaying %d perturbed runs...\n", *replays)
+	}
 	for i := 0; i < *replays; i++ {
 		opts := delorean.ReplayWith{
 			PerturbSeed:   uint64(1000*i + 17),
 			UseStratified: *stratify > 0,
+			Parallel:      *repPar,
 		}
 		var res delorean.ReplayResult
 		var err error
@@ -174,6 +185,9 @@ func main() {
 		verdict := "DETERMINISTIC"
 		if !res.Deterministic {
 			verdict = "DIVERGED"
+			if res.DivergentInterval >= 0 {
+				verdict = fmt.Sprintf("DIVERGED in interval %d", res.DivergentInterval)
+			}
 		}
 		speed := metrics.SafeDiv(float64(st.Cycles), float64(res.Stats.Cycles))
 		fmt.Printf("  run %d: %s (%.0f%% of initial speed)\n", i+1, verdict, 100*speed)

@@ -287,6 +287,13 @@ type ReplayWith struct {
 	// UseStratified enforces the stratified PI log instead of the exact
 	// commit sequence (requires Config.Stratify at record time).
 	UseStratified bool
+	// Parallel, when > 0, replays checkpoint-delimited intervals of the
+	// recording concurrently on that many workers and stitches the
+	// per-interval verdicts (requires Config.CheckpointEvery at record
+	// time; without checkpoints it falls back to a sequential replay).
+	// The verdict is bit-identical to a sequential replay at every
+	// worker count. Incompatible with UseStratified.
+	Parallel int
 }
 
 // ReplayResult reports a replay run.
@@ -296,6 +303,10 @@ type ReplayResult struct {
 	// memory state.
 	Deterministic bool
 	Stats         ExecStats
+	// DivergentInterval is the earliest checkpoint-delimited interval a
+	// segmented replay (ReplayWith.Parallel) proved divergent, or -1
+	// when the replay was deterministic or ran unsegmented.
+	DivergentInterval int
 }
 
 // Replay re-executes the recording deterministically on the paper's
@@ -305,6 +316,7 @@ func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
 		UseStratified:  opts.UseStratified,
 		ExactConflicts: r.cfg.ExactConflicts,
 		Parallel:       r.cfg.SimParallel,
+		ReplayParallel: opts.Parallel,
 	}
 	if opts.PerturbSeed != 0 {
 		ro.Perturb = bulksc.DefaultPerturb(opts.PerturbSeed)
@@ -315,11 +327,13 @@ func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
 		// (Deterministic=false), not an API failure.
 		var div *core.DivergenceError
 		if errors.As(err, &div) {
-			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats)}, nil
+			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats),
+				DivergentInterval: div.Interval}, nil
 		}
 		return ReplayResult{}, fmt.Errorf("delorean: replay: %w", err)
 	}
-	return ReplayResult{Deterministic: res.Matches(r.rec), Stats: execStats(res.Stats)}, nil
+	return ReplayResult{Deterministic: res.Matches(r.rec), Stats: execStats(res.Stats),
+		DivergentInterval: -1}, nil
 }
 
 // RunUnordered executes the recording's programs again on the chunked
@@ -360,11 +374,13 @@ func (r *Recording) ReplayFromCheckpoint(idx int, opts ReplayWith) (ReplayResult
 	if err != nil {
 		var div *core.DivergenceError
 		if errors.As(err, &div) {
-			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats)}, nil
+			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats),
+				DivergentInterval: div.Interval}, nil
 		}
 		return ReplayResult{}, fmt.Errorf("delorean: interval replay: %w", err)
 	}
-	return ReplayResult{Deterministic: res.MatchesInterval(r.rec, idx), Stats: execStats(res.Stats)}, nil
+	return ReplayResult{Deterministic: res.MatchesInterval(r.rec, idx), Stats: execStats(res.Stats),
+		DivergentInterval: -1}, nil
 }
 
 // Save serializes the recording (logs, checkpoint, verification hashes)

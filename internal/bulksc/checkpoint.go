@@ -13,9 +13,14 @@ import (
 type Checkpoint struct {
 	// Slot is the global commit count the checkpoint was taken at.
 	Slot uint64
-	// Mem is the committed memory image (speculative chunk buffers are,
-	// by construction, not part of it).
-	Mem map[uint32]uint64
+	// MemDelta holds only the words whose committed value changed since
+	// the previous checkpoint (or since the initial memory for the first
+	// one). A zero value records a word that became zero. The full image
+	// at the cut is the fold of the initial memory and every delta up to
+	// and including this one — delta encoding is what keeps dense
+	// checkpointing affordable, per-checkpoint cost scaling with interval
+	// write footprint rather than total memory footprint.
+	MemDelta map[uint32]uint64
 	// Procs holds each processor's resume state.
 	Procs []ProcCheckpoint
 	// TokenAt is the round-robin token holder at the cut (PicoLog), or
@@ -57,12 +62,19 @@ type PendingIntr struct {
 // applyCommit when exactly appliedSlots commits' effects are in memory.
 // (The arbiter's grant counter — and its policy state — can run ahead
 // within a grant batch, so the applied count and the engine-tracked
-// token are the consistent values.)
+// token are the consistent values.) The memory delta is read out of the
+// dirty-address set the engine maintains between checkpoints: each dirty
+// address's current committed value (zero when the word was deleted).
 func (e *Engine) capture(appliedSlots uint64) Checkpoint {
+	delta := make(map[uint32]uint64, len(e.ckptDirty))
+	for a := range e.ckptDirty {
+		delta[a] = e.Mem.Load(a)
+	}
+	e.ckptDirty = make(map[uint32]struct{})
 	cp := Checkpoint{
-		Slot:    appliedSlots,
-		Mem:     e.Mem.Snapshot(),
-		TokenAt: -1,
+		Slot:     appliedSlots,
+		MemDelta: delta,
+		TokenAt:  -1,
 	}
 	if e.PicoLog {
 		cp.TokenAt = e.tokenTrack

@@ -49,6 +49,16 @@ type Engine struct {
 	// Resume starts the engine from a checkpoint instead of the
 	// programs' entry points (interval replay).
 	Resume *Resume
+	// StopAtCommit, when > 0, ends the run once that many global commits
+	// (absolute count, including Resume.BaseCommits; split continuation
+	// pieces share their base piece's slot and do not count) have been
+	// applied — segmented replay runs each interval exactly up to the next
+	// checkpoint's cut. The stop is a consistent boundary: once the target
+	// is reached no further ordinary commit is granted, but continuation
+	// pieces of a chunk whose base piece committed before the cut still
+	// drain (they occupy the base's log slot, so their stores belong to
+	// this side of the boundary). Stats.Stopped reports a clean stop.
+	StopAtCommit uint64
 	// Parallel sets the intra-run worker count: between two consecutive
 	// global events (arbiter activity, DMA arrival, uncached I/O), all
 	// runnable cores advance concurrently up to the next global-event
@@ -61,6 +71,13 @@ type Engine struct {
 	// processors (trace.NewSink). Tracing is observation-only: Stats,
 	// logs and observer streams are byte-identical with it on or off.
 	Trace *trace.Sink
+	// MS, when non-nil, supplies the timing hierarchy instead of
+	// building a fresh one; Run resets it, so its geometry must match
+	// Cfg. Segmented replay pools hierarchies across its per-interval
+	// engines — cache-set construction otherwise dominates interval
+	// replay. Reuse is observation-equivalent: Reset reproduces the
+	// post-construction state exactly.
+	MS *sim.MemSys
 
 	arb    *arbiter.Arbiter
 	ms     *sim.MemSys
@@ -90,6 +107,46 @@ type Engine struct {
 	replayDMAOpen  bool // replay: a DMA request is queued at the arbiter
 	inputStarved   bool // replay: an input log ran dry mid-run (corrupt log)
 	lastCommitTime uint64
+
+	// ckptDirty, non-nil only while recording with checkpoints enabled,
+	// accumulates the addresses stored to since the last checkpoint —
+	// capture() reads the delta out of it. nil in every other
+	// configuration so the common path pays one nil check per store.
+	ckptDirty map[uint32]struct{}
+
+	// policy is the effective commit-ordering policy: e.Policy, wrapped in
+	// the stop gate when StopAtCommit is set. All engine-side policy calls
+	// go through it.
+	policy arbiter.Policy
+	gate   *stopGate
+	// appliedCommits counts applied non-split commits (absolute: seeded
+	// from Resume.BaseCommits), matching record-mode slot numbering.
+	appliedCommits uint64
+	stopPending    bool // commit target reached; draining owed splits
+	stopped        bool // drain finished: the run ends at the boundary
+}
+
+// stopGate wraps the ordering policy so reaching StopAtCommit closes the
+// arbiter to further ordinary grants. Split continuations bypass the
+// policy in the arbiter and therefore still drain through a closed gate.
+type stopGate struct {
+	inner  arbiter.Policy
+	closed bool
+}
+
+func (g *stopGate) MayGrant(r *arbiter.Request, gc uint64) bool {
+	if g.closed {
+		return false
+	}
+	return g.inner.MayGrant(r, gc)
+}
+func (g *stopGate) Granted(r *arbiter.Request, now, gc uint64) { g.inner.Granted(r, now, gc) }
+func (g *stopGate) MarkDone(p int)                             { g.inner.MarkDone(p) }
+func (g *stopGate) Head(gc uint64) (int, bool) {
+	if g.closed {
+		return -1, false
+	}
+	return g.inner.Head(gc)
 }
 
 type tentIntr struct {
@@ -316,6 +373,12 @@ func (e *Engine) resetRun() {
 	e.replayDMAOpen = false
 	e.inputStarved = false
 	e.lastCommitTime = 0
+	e.ckptDirty = nil
+	e.policy = nil
+	e.gate = nil
+	e.appliedCommits = 0
+	e.stopPending = false
+	e.stopped = false
 }
 
 // Run executes the machine to completion and returns statistics. The
@@ -340,14 +403,33 @@ func (e *Engine) Run() Stats {
 	}
 	e.gtr = e.Trace.Global()
 	e.parMode = e.Parallel > 1 && e.Cfg.NProcs > 1
-	e.arb = arbiter.New(e.Cfg.ArbLat, e.Cfg.CommitDur, e.Cfg.MaxConcurCommits, e.Policy)
+	e.policy = e.Policy
+	if e.StopAtCommit > 0 {
+		e.gate = &stopGate{inner: e.Policy}
+		e.policy = e.gate
+	}
+	if e.CheckpointEvery > 0 && e.OnCheckpoint != nil && e.Replay == nil {
+		e.ckptDirty = make(map[uint32]struct{})
+	}
+	e.arb = arbiter.New(e.Cfg.ArbLat, e.Cfg.CommitDur, e.Cfg.MaxConcurCommits, e.policy)
 	e.arb.Exact = e.ExactConflicts
 	e.arb.Trace = e.gtr
-	e.ms = sim.NewMemSys(&e.Cfg)
+	if e.MS != nil {
+		e.MS.Reset(&e.Cfg)
+		e.ms = e.MS
+	} else {
+		e.ms = sim.NewMemSys(&e.Cfg)
+	}
 	e.stats.TruncBy = make(map[chunk.TruncReason]uint64)
 
 	if e.Resume != nil {
 		e.arb.StartCommits(e.Resume.BaseCommits)
+		e.appliedCommits = e.Resume.BaseCommits
+	}
+	if e.StopAtCommit > 0 && e.appliedCommits >= e.StopAtCommit {
+		// Degenerate empty interval: already at the boundary.
+		e.stopPending, e.stopped = true, true
+		e.gate.closed = true
 	}
 	for p := 0; p < e.Cfg.NProcs; p++ {
 		co := &core{proc: p, prog: e.Progs[p], tm: sim.NewCoreTiming(&e.Cfg)}
@@ -375,7 +457,7 @@ func (e *Engine) Run() Stats {
 			if pc.Done {
 				co.ts.Halted = true
 				co.haltDone = true
-				e.Policy.MarkDone(p)
+				e.policy.MarkDone(p)
 				e.doneCores++
 			}
 		}
@@ -436,7 +518,7 @@ func (e *Engine) chunkCount() uint64 {
 // runSequential is the reference scheduler: one global event heap, one
 // event at a time, in (time, kind, id, epoch) order.
 func (e *Engine) runSequential(budget uint64) {
-	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && !e.inputStarved && e.execCount() < budget && e.chunkCount() < budget {
+	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && !e.inputStarved && !e.stopped && e.execCount() < budget && e.chunkCount() < budget {
 		ev := e.events.pop()
 		if ev.time < e.now {
 			panic("bulksc: event time regressed")
@@ -460,6 +542,12 @@ func (e *Engine) runSequential(budget uint64) {
 			if ev.epoch != co.epoch || co.blocked != notBlocked || co.haltDone {
 				continue
 			}
+			// Past the stop target only cores owing split continuations
+			// keep executing; stepping anyone else would consume replay
+			// inputs that belong beyond the boundary.
+			if e.stopPending && !co.owesContinuation() {
+				continue
+			}
 			e.stepCore(co)
 		}
 	}
@@ -474,6 +562,7 @@ func procStream(seed uint64, p int) uint64 {
 func (e *Engine) finishStats(budget uint64) {
 	s := &e.stats
 	s.Converged = e.doneCores == e.Cfg.NProcs
+	s.Stopped = e.stopped
 	s.Cycles = e.lastCommitTime
 	for _, co := range e.cores {
 		if co.tm.Clock > s.Cycles {
@@ -1066,6 +1155,13 @@ func (e *Engine) drainArbiter() {
 	for {
 		grants := e.arb.TryGrant(e.now)
 		for _, g := range grants {
+			// A grant landing in the same batch as the one that reached the
+			// stop target is beyond the boundary: discard it (the run is
+			// abandoned at the cut, so the arbiter's advanced state is
+			// irrelevant). Owed split continuations still apply.
+			if e.stopPending && !g.Split {
+				continue
+			}
 			e.applyCommit(g)
 		}
 		if len(grants) > 0 {
@@ -1115,10 +1211,10 @@ func (e *Engine) recordDMAArrival(i int) {
 // maybeReplayDMA submits the next logged DMA transfer when the commit
 // order requires it next.
 func (e *Engine) maybeReplayDMA() bool {
-	if e.Replay == nil || e.replayDMAOpen {
+	if e.Replay == nil || e.replayDMAOpen || e.stopPending {
 		return false
 	}
-	head, ok := e.Policy.Head(e.arb.GlobalCommits())
+	head, ok := e.policy.Head(e.arb.GlobalCommits())
 	if !ok || head != DMAProc(e.Cfg.NProcs) {
 		return false
 	}
@@ -1160,6 +1256,9 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 		p := g.Tag.(dmaPayload)
 		for k, v := range p.data {
 			e.Mem.Store(p.addr+uint32(k), v)
+			if e.ckptDirty != nil {
+				e.ckptDirty[p.addr+uint32(k)] = struct{}{}
+			}
 		}
 		for _, l := range g.WLines {
 			e.ms.DMAWrite(l)
@@ -1173,6 +1272,7 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 		}
 		e.squashConflicting(-1, g.WSig, g.WLines)
 		e.maybeCheckpoint(g.Slot + 1)
+		e.noteApplied(false)
 		return
 	}
 
@@ -1186,8 +1286,12 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 	// FNV-1a over (addr, value) little-endian, inlined: hash/fnv would
 	// allocate a hash.Hash64 per commit.
 	h := fnvOffset
+	dirty := e.ckptDirty
 	c.Apply(func(a uint32, v uint64) {
 		e.Mem.Store(a, v)
+		if dirty != nil {
+			dirty[a] = struct{}{}
+		}
 		h = fnvByte(h, byte(a))
 		h = fnvByte(h, byte(a>>8))
 		h = fnvByte(h, byte(a>>16))
@@ -1248,18 +1352,64 @@ func (e *Engine) applyCommit(g *arbiter.Request) {
 	}
 	if co.ts.Halted && co.cur == nil && len(co.chunks) == 0 && co.pendingIO == nil {
 		co.haltDone = true
-		e.Policy.MarkDone(co.proc)
+		e.policy.MarkDone(co.proc)
 		e.doneCores++
 		if e.PicoLog && e.tokenTrack == co.proc {
 			e.advanceToken(co.proc)
 		}
 		e.maybeCheckpoint(g.Slot + 1)
+		e.noteApplied(g.Split)
 		return
 	}
 	if co.blocked != notBlocked {
 		e.unblock(co)
 	}
 	e.maybeCheckpoint(g.Slot + 1)
+	e.noteApplied(g.Split)
+}
+
+// noteApplied advances the applied-commit count (split continuation
+// pieces share their base's slot and do not count) and drives the
+// StopAtCommit state machine: reaching the target closes the gate, and
+// the run ends once no core owes a split continuation whose base piece
+// committed before the cut.
+func (e *Engine) noteApplied(split bool) {
+	if !split {
+		e.appliedCommits++
+	}
+	if e.StopAtCommit == 0 {
+		return
+	}
+	if !e.stopPending && e.appliedCommits >= e.StopAtCommit {
+		e.stopPending = true
+		e.gate.closed = true
+	}
+	if e.stopPending && !e.stopped {
+		e.stopped = true
+		for _, co := range e.cores {
+			if co.owesContinuation() {
+				e.stopped = false
+				break
+			}
+		}
+	}
+}
+
+// owesContinuation reports whether the core still owes continuation
+// pieces of a split chunk whose base (non-split) piece already committed.
+// Such pieces occupy the base's log slot and must drain before a stop
+// boundary; a split chain whose base has not committed belongs entirely
+// to the other side of the cut.
+func (co *core) owesContinuation() bool {
+	if co.splitRemain > 0 {
+		for _, c := range co.chunks {
+			if c.SeqID == co.splitSeq && !c.SplitPiece {
+				return false // base piece still uncommitted
+			}
+		}
+		return true
+	}
+	return len(co.chunks) > 0 && co.chunks[0].SplitPiece
 }
 
 // advanceToken moves the tracked token to the next live processor after
@@ -1415,7 +1565,7 @@ func (e *Engine) chunkAlive(c *chunk.Chunk) bool {
 func (e *Engine) DebugState() string {
 	s := fmt.Sprintf("t=%d commits=%d pending=%d inflight=%d exec=%d\n",
 		e.now, e.arb.GlobalCommits(), e.arb.Pending(), e.arb.InFlight(), e.execCount())
-	if head, ok := e.Policy.Head(e.arb.GlobalCommits()); ok {
+	if head, ok := e.policy.Head(e.arb.GlobalCommits()); ok {
 		s += fmt.Sprintf("policy head: proc %d\n", head)
 	}
 	for _, co := range e.cores {

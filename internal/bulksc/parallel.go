@@ -52,7 +52,7 @@ func (e *Engine) runParallel(budget uint64) {
 	margin := e.windowMargin()
 	const inf = ^uint64(0)
 
-	for e.doneCores < e.Cfg.NProcs {
+	for e.doneCores < e.Cfg.NProcs && !e.stopped {
 		exec := e.execCount()
 		if exec >= budget || e.chunkCount() >= budget || e.inputStarved {
 			return
@@ -63,6 +63,9 @@ func (e *Engine) runParallel(budget uint64) {
 		}
 		for _, co := range e.cores {
 			if !co.wakeOK || co.blocked != notBlocked || co.haltDone {
+				continue
+			}
+			if e.stopPending && !co.owesContinuation() {
 				continue
 			}
 			if co.pendingIO != nil && len(co.chunks) == 0 {
@@ -132,7 +135,8 @@ func (e *Engine) runWindow(pool *corePool, horizon uint64) {
 	elig := e.elig[:0]
 	for _, co := range e.cores {
 		if co.wakeOK && co.blocked == notBlocked && !co.haltDone &&
-			!(co.pendingIO != nil && len(co.chunks) == 0) && co.wake < horizon {
+			!(co.pendingIO != nil && len(co.chunks) == 0) && co.wake < horizon &&
+			!(e.stopPending && !co.owesContinuation()) {
 			elig = append(elig, co)
 		}
 	}
@@ -214,6 +218,9 @@ func (e *Engine) serialStep() {
 	var bestCore *core
 	for _, co := range e.cores {
 		if !co.wakeOK || co.blocked != notBlocked || co.haltDone {
+			continue
+		}
+		if e.stopPending && !co.owesContinuation() {
 			continue
 		}
 		if co.wake < bestTime ||

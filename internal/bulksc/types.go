@@ -160,7 +160,12 @@ type Stats struct {
 	TrafficBytes uint64
 
 	Converged bool
-	PerProc   []ProcStats
+	// Stopped marks a run that halted cleanly at a requested commit
+	// boundary (Engine.StopAtCommit) rather than by convergence. Host-side
+	// only: segmented replay workers run each interval up to the next
+	// checkpoint's commit slot and treat Stopped as success.
+	Stopped bool
+	PerProc []ProcStats
 }
 
 // ProcStats is the per-core slice.

@@ -17,12 +17,19 @@ import (
 
 // Cache is a set-associative tag array. Not safe for concurrent use; the
 // simulator is single-goroutine by design (deterministic event order).
+//
+// The tag store is two flat, pointer-free arrays rather than a slice per
+// set: segmented replay constructs a full cache hierarchy per checkpoint
+// interval, and with tens of thousands of L2 sets the per-set slice
+// headers dominated both allocation and GC scan time.
 type Cache struct {
 	ways    int
 	numSets int
 	setMask uint32
-	// sets[s] holds up to ways line addresses in MRU-first order.
-	sets [][]uint32
+	// lines[s*ways : s*ways+size[s]] holds set s's line addresses in
+	// MRU-first order.
+	lines []uint32
+	size  []int32
 }
 
 // New constructs a cache of sizeBytes capacity with the given
@@ -37,11 +44,11 @@ func New(sizeBytes, ways int) *Cache {
 	if numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("cache: %d sets is not a power of two", numSets))
 	}
-	sets := make([][]uint32, numSets)
-	for i := range sets {
-		sets[i] = make([]uint32, 0, ways)
+	return &Cache{
+		ways: ways, numSets: numSets, setMask: uint32(numSets - 1),
+		lines: make([]uint32, numSets*ways),
+		size:  make([]int32, numSets),
 	}
-	return &Cache{ways: ways, numSets: numSets, setMask: uint32(numSets - 1), sets: sets}
 }
 
 // Ways returns the associativity.
@@ -57,7 +64,9 @@ func (c *Cache) SetOf(line uint32) int { return int(line & c.setMask) }
 // most-recently-used. On miss the cache is unchanged; callers that model
 // a fill follow up with Install.
 func (c *Cache) Access(line uint32) bool {
-	set := c.sets[line&c.setMask]
+	s := line & c.setMask
+	base := int(s) * c.ways
+	set := c.lines[base : base+int(c.size[s])]
 	for i, l := range set {
 		if l == line {
 			if i != 0 {
@@ -72,7 +81,9 @@ func (c *Cache) Access(line uint32) bool {
 
 // Contains reports presence without touching LRU state.
 func (c *Cache) Contains(line uint32) bool {
-	for _, l := range c.sets[line&c.setMask] {
+	s := line & c.setMask
+	base := int(s) * c.ways
+	for _, l := range c.lines[base : base+int(c.size[s])] {
 		if l == line {
 			return true
 		}
@@ -87,28 +98,31 @@ func (c *Cache) Install(line uint32) (evicted uint32, didEvict bool) {
 		return 0, false
 	}
 	s := line & c.setMask
-	set := c.sets[s]
-	if len(set) == c.ways {
-		evicted = set[len(set)-1]
+	base := int(s) * c.ways
+	n := int(c.size[s])
+	if n == c.ways {
+		evicted = c.lines[base+n-1]
 		didEvict = true
-		copy(set[1:], set[:len(set)-1])
-		set[0] = line
 	} else {
-		set = append(set, 0)
-		copy(set[1:], set[:len(set)-1])
-		set[0] = line
-		c.sets[s] = set
+		n++
+		c.size[s] = int32(n)
 	}
+	set := c.lines[base : base+n]
+	copy(set[1:], set[:n-1])
+	set[0] = line
 	return evicted, didEvict
 }
 
 // Invalidate removes line if present (coherence invalidation).
 func (c *Cache) Invalidate(line uint32) bool {
 	s := line & c.setMask
-	set := c.sets[s]
+	base := int(s) * c.ways
+	n := int(c.size[s])
+	set := c.lines[base : base+n]
 	for i, l := range set {
 		if l == line {
-			c.sets[s] = append(set[:i], set[i+1:]...)
+			copy(set[i:], set[i+1:])
+			c.size[s] = int32(n - 1)
 			return true
 		}
 	}
@@ -117,7 +131,7 @@ func (c *Cache) Invalidate(line uint32) bool {
 
 // Flush empties the cache.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		c.sets[i] = c.sets[i][:0]
+	for i := range c.size {
+		c.size[i] = 0
 	}
 }

@@ -11,6 +11,17 @@ import (
 // log lengths. Use errors.Is to test for it.
 var ErrCorruptLog = errors.New("corrupt recording log")
 
+// ErrCheckpointRange reports a checkpoint index outside the recording's
+// checkpoint list — an API usage error, distinct from both corruption
+// (ErrCorruptLog) and replay divergence (DivergenceError). Use errors.Is
+// to test for it.
+var ErrCheckpointRange = errors.New("checkpoint index out of range")
+
+// checkpointRange builds an ErrCheckpointRange-wrapped error.
+func checkpointRange(idx, n int) error {
+	return fmt.Errorf("core: %w: checkpoint %d, recording has %d", ErrCheckpointRange, idx, n)
+}
+
 // DivergenceError reports that a replay ran against a well-formed
 // recording but failed to reproduce it. The fields localize the first
 // detected divergence as precisely as the recording's logs allow;
@@ -38,6 +49,10 @@ type DivergenceError struct {
 	Proc int
 	// SeqID is the divergent chunk's per-core sequence number, or -1.
 	SeqID int64
+	// Interval is the checkpoint-delimited interval the divergence was
+	// localized to by segmented replay (always the earliest diverging
+	// interval, deterministically), or -1 for a non-segmented replay.
+	Interval int
 	// Detail is a human-readable explanation.
 	Detail string
 }
@@ -45,6 +60,9 @@ type DivergenceError struct {
 // Error implements error.
 func (e *DivergenceError) Error() string {
 	s := fmt.Sprintf("core: %s replay divergence (%s)", e.Mode, e.Kind)
+	if e.Interval >= 0 {
+		s += fmt.Sprintf(" in interval %d", e.Interval)
+	}
 	if e.Slot >= 0 {
 		s += fmt.Sprintf(" at commit slot %d", e.Slot)
 	}
@@ -151,6 +169,42 @@ func (r *Recording) Validate() error {
 	}
 	if n := len(r.ProcChains); n != 0 && n != r.NProcs {
 		return corrupt("%d per-processor chain digests for %d procs", n, r.NProcs)
+	}
+	// Checkpoint structure: segmented replay slices logs and fans out
+	// workers based on these fields, so a structurally corrupt checkpoint
+	// must fail here — identically for sequential and segmented replay —
+	// rather than panic a worker.
+	var prevCut uint64
+	for i := range r.Checkpoints {
+		cp := &r.Checkpoints[i]
+		if cp.Slot == 0 || cp.Slot <= prevCut {
+			return corrupt("checkpoint %d cut at slot %d not after previous cut %d", i, cp.Slot, prevCut)
+		}
+		prevCut = cp.Slot
+		if r.PI != nil && cp.Slot > uint64(len(r.PI.Entries())) {
+			return corrupt("checkpoint %d cut at slot %d beyond the %d-entry PI log", i, cp.Slot, len(r.PI.Entries()))
+		}
+		if len(cp.Procs) != r.NProcs {
+			return corrupt("checkpoint %d carries %d processor states for %d procs", i, len(cp.Procs), r.NProcs)
+		}
+		if cp.TokenAt < -1 || cp.TokenAt >= r.NProcs {
+			return corrupt("checkpoint %d token holder %d of %d procs", i, cp.TokenAt, r.NProcs)
+		}
+		for p, pc := range cp.Procs {
+			if pc.IOConsumed < 0 || pc.IOConsumed > len(r.IO[p].Values()) {
+				return corrupt("checkpoint %d proc %d consumed %d of %d I/O values", i, p, pc.IOConsumed, len(r.IO[p].Values()))
+			}
+			if i > 0 && pc.IOConsumed < r.Checkpoints[i-1].Procs[p].IOConsumed {
+				return corrupt("checkpoint %d proc %d I/O consumption regressed (%d after %d)",
+					i, p, pc.IOConsumed, r.Checkpoints[i-1].Procs[p].IOConsumed)
+			}
+		}
+		if n := len(cp.ProcChains); n != 0 && n != r.NProcs {
+			return corrupt("checkpoint %d has %d chain digests for %d procs", i, n, r.NProcs)
+		}
+		if n := len(cp.IntervalChains); n != 0 && n != r.NProcs {
+			return corrupt("checkpoint %d has %d interval chain digests for %d procs", i, n, r.NProcs)
+		}
 	}
 	return nil
 }

@@ -22,6 +22,31 @@ type IntervalCheckpoint struct {
 	// ProcChains are the per-processor slices of the interval
 	// fingerprint (see Recording.ProcChains).
 	ProcChains []uint64
+	// IntervalFingerprint covers the bounded interval [prevSlot, Slot) —
+	// from the previous cut (or the start of the recording) up to this
+	// cut. Segmented replay checks each worker's interval against it.
+	IntervalFingerprint uint64
+	// IntervalChains are the per-processor slices of IntervalFingerprint.
+	IntervalChains []uint64
+}
+
+// validateCheckpointProcs checks every checkpointed processor state
+// against the programs the replay will actually run. Recording.Validate
+// cannot do this — recordings do not store programs — yet resuming a
+// core at a control-flow target outside its program would panic the
+// interpreter, so a mismatch is diagnosed here as log corruption.
+func validateCheckpointProcs(rec *Recording, progs []*isa.Program) error {
+	for i := range rec.Checkpoints {
+		for p := range rec.Checkpoints[i].Procs {
+			st := &rec.Checkpoints[i].Procs[p].State
+			n := len(progs[p].Insts)
+			if st.PC < 0 || st.PC >= n || st.IntrPC < 0 || st.IntrPC >= n {
+				return fmt.Errorf("%w: checkpoint %d resumes proc %d at PC %d (intr PC %d), program has %d instructions",
+					ErrCorruptLog, i, p, st.PC, st.IntrPC, n)
+			}
+		}
+	}
+	return nil
 }
 
 // ReplayFromCheckpoint replays the interval from rec.Checkpoints[idx] to
@@ -34,7 +59,7 @@ type IntervalCheckpoint struct {
 // generally align with checkpoint slots.
 func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.Program, opts ReplayOptions) (ReplayResult, error) {
 	if idx < 0 || idx >= len(rec.Checkpoints) {
-		return ReplayResult{}, fmt.Errorf("core: checkpoint %d of %d", idx, len(rec.Checkpoints))
+		return ReplayResult{}, checkpointRange(idx, len(rec.Checkpoints))
 	}
 	if opts.UseStratified {
 		return ReplayResult{}, fmt.Errorf("core: stratified interval replay is not supported")
@@ -48,11 +73,18 @@ func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.
 	if len(progs) != rec.NProcs {
 		return ReplayResult{}, fmt.Errorf("core: replay with %d programs, recording has %d procs", len(progs), rec.NProcs)
 	}
+	if err := validateCheckpointProcs(rec, progs); err != nil {
+		return ReplayResult{}, err
+	}
 	cp := rec.Checkpoints[idx]
 	cfg.ChunkSize = rec.ChunkSize
 
+	img, err := rec.MaterializeCheckpoint(idx)
+	if err != nil {
+		return ReplayResult{}, err
+	}
 	memory := mem.New()
-	memory.Restore(cp.Mem)
+	memory.Restore(img)
 
 	var policy arbiter.Policy
 	if rec.Mode == PicoLog {
@@ -115,12 +147,35 @@ func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.
 	return res, nil
 }
 
-// MatchesInterval reports whether an interval replay reproduced the
-// recorded interval: the fingerprint from the checkpoint cut and the
-// final architectural memory state.
-func (r ReplayResult) MatchesInterval(rec *Recording, idx int) bool {
+// IntervalMatch reports which sides of an interval-replay comparison
+// held: the interval fingerprint from the checkpoint cut, and the final
+// architectural memory state.
+type IntervalMatch struct {
+	FingerprintOK bool
+	MemHashOK     bool
+}
+
+// OK reports whether both sides matched.
+func (m IntervalMatch) OK() bool { return m.FingerprintOK && m.MemHashOK }
+
+// MatchInterval compares an interval replay's result against the
+// recorded interval [Checkpoints[idx].Slot, end), reporting which side
+// mismatched rather than one opaque boolean. Returns
+// ErrCheckpointRange if idx is out of range.
+func (r ReplayResult) MatchInterval(rec *Recording, idx int) (IntervalMatch, error) {
 	if idx < 0 || idx >= len(rec.Checkpoints) {
-		return false
+		return IntervalMatch{}, checkpointRange(idx, len(rec.Checkpoints))
 	}
-	return r.Fingerprint == rec.Checkpoints[idx].Fingerprint && r.MemHash == rec.FinalMemHash
+	return IntervalMatch{
+		FingerprintOK: r.Fingerprint == rec.Checkpoints[idx].Fingerprint,
+		MemHashOK:     r.MemHash == rec.FinalMemHash,
+	}, nil
+}
+
+// MatchesInterval reports whether an interval replay reproduced the
+// recorded interval. See MatchInterval for a diagnosis of which side
+// failed.
+func (r ReplayResult) MatchesInterval(rec *Recording, idx int) bool {
+	m, err := r.MatchInterval(rec, idx)
+	return err == nil && m.OK()
 }

@@ -47,7 +47,13 @@ type recorder struct {
 	strat *stratifier.Stratifier
 	// fps[0] fingerprints the whole run; each checkpoint spawns another
 	// that accumulates only the interval after its cut.
-	fps    []*fingerprint
+	fps []*fingerprint
+	// ivfp fingerprints only the current bounded interval — since the
+	// last cut (or the run's start). Each checkpoint seals it into
+	// IntervalFingerprint/IntervalChains and starts a fresh one; the
+	// trailing partial interval is discarded (the final interval is
+	// checked with the last checkpoint's suffix fingerprint instead).
+	ivfp   *fingerprint
 	nprocs int
 
 	// tr, when non-nil, receives a LogSample event per commit showing
@@ -65,11 +71,17 @@ func (r *recorder) eachFP(f func(*fingerprint)) {
 	for _, fp := range r.fps {
 		f(fp)
 	}
+	f(r.ivfp)
 }
 
 func (r *recorder) onCheckpoint(cp bulksc.Checkpoint) {
-	r.rec.Checkpoints = append(r.rec.Checkpoints, IntervalCheckpoint{Checkpoint: cp})
+	r.rec.Checkpoints = append(r.rec.Checkpoints, IntervalCheckpoint{
+		Checkpoint:          cp,
+		IntervalFingerprint: r.ivfp.sum(),
+		IntervalChains:      r.ivfp.procDigests(),
+	})
 	r.fps = append(r.fps, newFingerprint(r.nprocs))
+	r.ivfp = newFingerprint(r.nprocs)
 }
 
 func (r *recorder) OnCommit(ev bulksc.CommitEvent) {
@@ -187,7 +199,8 @@ func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory,
 		}
 	}
 
-	r := &recorder{rec: rec, fps: []*fingerprint{newFingerprint(cfg.NProcs)}, nprocs: cfg.NProcs}
+	r := &recorder{rec: rec, fps: []*fingerprint{newFingerprint(cfg.NProcs)},
+		ivfp: newFingerprint(cfg.NProcs), nprocs: cfg.NProcs}
 	if opts.StratifyMax > 0 && mode != PicoLog {
 		r.strat = stratifier.New(cfg.NProcs, opts.StratifyMax)
 	}

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"delorean/internal/bulksc"
 	"delorean/internal/dlog"
@@ -117,6 +118,84 @@ type Recording struct {
 	// RecordOptions.Trace (nil otherwise). Host-side observability only:
 	// not serialized by WriteTo and not part of replay matching.
 	Trace *trace.Sink
+
+	// Materialized-checkpoint LRU (MaterializeCheckpoint). Checkpoints
+	// store memory deltas; replay workers materialize the full image a
+	// resumed interval starts from, and repeated replays of the same
+	// recording share the cached images. Host-side only, guarded by
+	// matMu.
+	matMu    sync.Mutex
+	matCache map[int]map[uint32]uint64
+	matOrder []int // access order, least recent first
+}
+
+// matCacheCap bounds the materialized-image LRU. Segmented replay needs
+// each image once per pass (as the next interval's start state; interval
+// end checks run off the delta and the write journal instead), so the cap
+// is sized to keep a typically-checkpointed recording's images resident
+// across repeated replays — the second and later replays of the same
+// recording then materialize nothing.
+const matCacheCap = 64
+
+// MaterializeCheckpoint returns the full memory image at checkpoint idx,
+// folding the delta-encoded checkpoints over the initial memory (nearest
+// cached image first). The returned map is shared via an internal LRU and
+// MUST be treated as read-only. Safe for concurrent use.
+func (r *Recording) MaterializeCheckpoint(idx int) (map[uint32]uint64, error) {
+	if idx < 0 || idx >= len(r.Checkpoints) {
+		return nil, checkpointRange(idx, len(r.Checkpoints))
+	}
+	r.matMu.Lock()
+	defer r.matMu.Unlock()
+	if img, ok := r.matCache[idx]; ok {
+		r.matTouch(idx)
+		return img, nil
+	}
+	// Start from the nearest cached image at or below idx, else the
+	// initial memory.
+	base := -1
+	var src map[uint32]uint64 = r.InitialMem
+	for j := range r.matCache {
+		if j <= idx && j > base {
+			base, src = j, r.matCache[j]
+		}
+	}
+	img := make(map[uint32]uint64, len(src))
+	for a, v := range src {
+		if v != 0 {
+			img[a] = v
+		}
+	}
+	for j := base + 1; j <= idx; j++ {
+		for a, v := range r.Checkpoints[j].MemDelta {
+			if v == 0 {
+				delete(img, a) // the word became zero in this interval
+			} else {
+				img[a] = v
+			}
+		}
+	}
+	if r.matCache == nil {
+		r.matCache = make(map[int]map[uint32]uint64)
+	}
+	r.matCache[idx] = img
+	r.matOrder = append(r.matOrder, idx)
+	if len(r.matOrder) > matCacheCap {
+		evict := r.matOrder[0]
+		r.matOrder = r.matOrder[1:]
+		delete(r.matCache, evict)
+	}
+	return img, nil
+}
+
+// matTouch moves idx to the most-recent end of the LRU order.
+func (r *Recording) matTouch(idx int) {
+	for i, j := range r.matOrder {
+		if j == idx {
+			r.matOrder = append(append(r.matOrder[:i:i], r.matOrder[i+1:]...), idx)
+			return
+		}
+	}
 }
 
 // MemOrderingRawBits returns the uncompressed memory-ordering log size in

@@ -28,18 +28,20 @@ func (r ReplayResult) Matches(rec *Recording) bool {
 	return r.Fingerprint == rec.Fingerprint && r.MemHash == rec.FinalMemHash
 }
 
-// logSource adapts a Recording to the engine's ReplaySource.
-type logSource struct {
-	trunc  []map[uint64]int
-	intr   []map[uint64]dlog.IntrEntry
-	io     [][]uint64
-	ioIdx  []int
-	dma    []dlog.DMAEntry
-	dmaIdx int
+// logView is the immutable, shareable part of a Recording's replay
+// inputs: truncation and interrupt lookups, I/O value slices and the
+// DMA entry list. Building it walks every log once; segmented replay
+// builds one view and hands each interval worker its own cursored
+// logSource over it.
+type logView struct {
+	trunc []map[uint64]int
+	intr  []map[uint64]dlog.IntrEntry
+	io    [][]uint64
+	dma   []dlog.DMAEntry
 }
 
-func newLogSource(rec *Recording) *logSource {
-	s := &logSource{dma: rec.DMA.Entries()}
+func newLogView(rec *Recording) *logView {
+	v := &logView{dma: rec.DMA.Entries()}
 	for p := 0; p < rec.NProcs; p++ {
 		if rec.Mode == OrderSize {
 			// Every chunk's size is logged; expose them all as
@@ -48,15 +50,31 @@ func newLogSource(rec *Recording) *logSource {
 			for seq, sz := range rec.Sizes[p].Sizes() {
 				m[uint64(seq)] = sz
 			}
-			s.trunc = append(s.trunc, m)
+			v.trunc = append(v.trunc, m)
 		} else {
-			s.trunc = append(s.trunc, rec.CS[p].Lookup())
+			v.trunc = append(v.trunc, rec.CS[p].Lookup())
 		}
-		s.intr = append(s.intr, rec.Intr[p].Lookup())
-		s.io = append(s.io, rec.IO[p].Values())
-		s.ioIdx = append(s.ioIdx, 0)
+		v.intr = append(v.intr, rec.Intr[p].Lookup())
+		v.io = append(v.io, rec.IO[p].Values())
 	}
-	return s
+	return v
+}
+
+// source returns a fresh cursored ReplaySource over the view.
+func (v *logView) source() *logSource {
+	return &logSource{logView: v, ioIdx: make([]int, len(v.io))}
+}
+
+// logSource adapts a Recording to the engine's ReplaySource: the shared
+// immutable view plus this replay's consumption cursors.
+type logSource struct {
+	*logView
+	ioIdx  []int
+	dmaIdx int
+}
+
+func newLogSource(rec *Recording) *logSource {
+	return newLogView(rec).source()
 }
 
 func (s *logSource) Truncation(proc int, seqID uint64) (int, bool) {
@@ -108,6 +126,13 @@ type replayObserver struct {
 	fp     *fingerprint
 	nprocs int
 	stream []slotCommit
+	// ioByLog suppresses fire-time I/O hashing. Segmented replay sets it:
+	// an interval worker racing toward its stop boundary can consume I/O
+	// values the recording attributes to the next interval (I/O fires
+	// between chunks, so its timing — unlike commit slots — is not pinned
+	// by the ordering log), so the driver reconstructs each interval's
+	// I/O chains from the log's consumption ranges after the run.
+	ioByLog bool
 }
 
 func (o *replayObserver) OnCommit(ev bulksc.CommitEvent) {
@@ -128,7 +153,9 @@ func (o *replayObserver) OnCommit(ev bulksc.CommitEvent) {
 	o.stream = append(o.stream, slotCommit{proc: ev.Proc, seqID: ev.SeqID, size: ev.Size})
 }
 func (o *replayObserver) OnIORead(proc int, _ int64, v uint64) {
-	o.fp.io(proc, v)
+	if !o.ioByLog {
+		o.fp.io(proc, v)
+	}
 }
 func (o *replayObserver) OnInterrupt(proc int, seq uint64, typ, data int64, _ bool) {
 	o.fp.intr(proc, seq, typ, data)
@@ -154,7 +181,7 @@ func (o *replayObserver) lastSeqOf(proc int) (uint64, bool) {
 // the instruction budget ran out.
 func (rec *Recording) stallError(obs *replayObserver, st bulksc.Stats, budget, piBase uint64) *DivergenceError {
 	slot := piBase + uint64(len(obs.stream))
-	d := &DivergenceError{Kind: "stall", Mode: rec.Mode, Slot: int64(slot), Proc: -1, SeqID: -1}
+	d := &DivergenceError{Kind: "stall", Mode: rec.Mode, Slot: int64(slot), Proc: -1, SeqID: -1, Interval: -1}
 	if st.Insts+st.WastedInsts >= budget {
 		d.Detail = fmt.Sprintf("instruction budget (%d) exhausted after %d commits without converging", budget, slot)
 		return d
@@ -203,11 +230,11 @@ func (rec *Recording) divergence(obs *replayObserver, res ReplayResult, piBase u
 		for i, sc := range obs.stream {
 			slot := piBase + uint64(i)
 			if slot >= uint64(len(pi)) {
-				return &DivergenceError{Kind: "order", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc,
+				return &DivergenceError{Kind: "order", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc, Interval: -1,
 					SeqID: seqOrNeg(sc), Detail: fmt.Sprintf("replay committed %d chunks but the log has %d entries", slot+1, len(pi))}
 			}
 			if sc.proc != pi[slot] {
-				return &DivergenceError{Kind: "order", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc,
+				return &DivergenceError{Kind: "order", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc, Interval: -1,
 					SeqID: seqOrNeg(sc), Detail: fmt.Sprintf("processor %d committed where the log names %d", sc.proc, pi[slot])}
 			}
 			if sc.proc >= rec.NProcs {
@@ -217,7 +244,7 @@ func (rec *Recording) divergence(obs *replayObserver, res ReplayResult, piBase u
 				want := rec.Sizes[sc.proc].Sizes()[cursor[sc.proc]]
 				cursor[sc.proc]++
 				if sc.size != want {
-					return &DivergenceError{Kind: "size", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc,
+					return &DivergenceError{Kind: "size", Mode: rec.Mode, Slot: int64(slot), Proc: sc.proc, Interval: -1,
 						SeqID: int64(sc.seqID), Detail: fmt.Sprintf("chunk committed %d instructions where the size log records %d", sc.size, want)}
 				}
 			}
@@ -231,12 +258,12 @@ func (rec *Recording) divergence(obs *replayObserver, res ReplayResult, piBase u
 				if last, ok := obs.lastSeqOf(p); ok {
 					seq = int64(last)
 				}
-				return &DivergenceError{Kind: "state", Mode: rec.Mode, Slot: -1, Proc: p, SeqID: seq,
+				return &DivergenceError{Kind: "state", Mode: rec.Mode, Slot: -1, Proc: p, SeqID: seq, Interval: -1,
 					Detail: "core's committed chunk/input stream digest differs from the recording"}
 			}
 		}
 	}
-	d := &DivergenceError{Kind: "state", Mode: rec.Mode, Slot: -1, Proc: -1, SeqID: -1}
+	d := &DivergenceError{Kind: "state", Mode: rec.Mode, Slot: -1, Proc: -1, SeqID: -1, Interval: -1}
 	switch {
 	case res.MemHash != wantMem:
 		d.Detail = fmt.Sprintf("final memory state %x differs from recorded %x", res.MemHash, wantMem)
@@ -267,6 +294,16 @@ type ReplayOptions struct {
 	// Parallel sets the engine's intra-run worker count (0/1: the
 	// sequential reference scheduler). Every count replays identically.
 	Parallel int
+	// ReplayParallel, when > 0, partitions a checkpointed recording into
+	// checkpoint-delimited intervals and replays them concurrently on a
+	// bounded pool of that many workers (segmented replay). The verdict
+	// is bit-identical to a sequential Replay at every worker count, and
+	// a divergence is attributed to the earliest diverging interval
+	// (DivergenceError.Interval) deterministically. Recordings without
+	// checkpoints fall back to plain sequential replay. Incompatible
+	// with UseStratified (stratum boundaries do not align with
+	// checkpoint cuts).
+	ReplayParallel int
 	// Trace, when non-nil, captures the replay's execution timeline into
 	// the sink (built for the recording's processor count), including a
 	// Divergence event locating the first detected divergence if the
@@ -295,6 +332,16 @@ func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOpt
 		return ReplayResult{}, fmt.Errorf("core: replay with %d programs, recording has %d procs", len(progs), rec.NProcs)
 	}
 	cfg.ChunkSize = rec.ChunkSize
+
+	if opts.ReplayParallel > 0 {
+		if opts.UseStratified {
+			return ReplayResult{}, fmt.Errorf("core: segmented replay cannot enforce a stratified log")
+		}
+		if len(rec.Checkpoints) > 0 {
+			return replaySegmented(rec, cfg, progs, opts)
+		}
+		// No checkpoints to partition at: plain sequential replay below.
+	}
 
 	memory := mem.New()
 	memory.Restore(rec.InitialMem)

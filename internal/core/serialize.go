@@ -7,7 +7,9 @@ import (
 	"io"
 	"sort"
 
+	"delorean/internal/bulksc"
 	"delorean/internal/dlog"
+	"delorean/internal/lz77"
 	"delorean/internal/stratifier"
 )
 
@@ -30,13 +32,20 @@ func rebuildStratified(nprocs, maxChunk int, rows [][]int) *stratifier.Stratifie
 //	per proc: CS log (entry count u32, bit-length u32, packed)
 //	per proc (Order&Size): size log (count u32, bit-length u32, packed)
 //	per proc: interrupt log, I/O log
-//	DMA log, slot log, stratified log (optional)
+//	DMA log, slot log
+//	checkpoints (v3): count u32, then per checkpoint the cut metadata,
+//	  fingerprints, per-processor resume states, and the memory delta as
+//	  an LZ77-compressed (addr u32, value u64) pair stream in ascending
+//	  address order
+//	stratified log (optional)
 //
 // Version history: v1 had no per-processor chain digests; v2 added them
-// for replay divergence localization.
+// for replay divergence localization; v3 appended the delta-encoded
+// checkpoint section so serialized recordings replay segmented. v2
+// files still load (with no checkpoints).
 const (
 	recMagic   = "DLRN"
-	recVersion = 2
+	recVersion = 3
 
 	// maxChunkSize bounds the header's chunk size on load: large enough
 	// for any plausible configuration (the paper uses 2000), small
@@ -162,6 +171,8 @@ func (r *Recording) WriteTo(w io.Writer) (int64, error) {
 		c.u16(uint16(e.Proc))
 	}
 
+	r.writeCheckpoints(c)
+
 	// Stratified log: stored as explicit counters (it is small).
 	if r.Stratified != nil {
 		c.u8(1)
@@ -182,6 +193,179 @@ func (r *Recording) WriteTo(w io.Writer) (int64, error) {
 		c.err = bw.Flush()
 	}
 	return c.n, c.err
+}
+
+// Checkpoint flag bits (one byte per processor state).
+const (
+	cpHalted      = 1 << 0
+	cpInIntr      = 1 << 1
+	cpIntrUrgent  = 1 << 2
+	cpDone        = 1 << 3
+	cpPendingIntr = 1 << 4
+	cpPendUrgent  = 1 << 5
+)
+
+// writeCheckpoints appends the v3 checkpoint section: everything
+// segmented replay needs to partition the recording. Memory images are
+// stored as the engine's deltas — only the words that changed during
+// the interval — which LZ77 then squeezes further; a full image per
+// checkpoint would duplicate the entire footprint at every cut.
+func (r *Recording) writeCheckpoints(c *countingWriter) {
+	c.u32(uint32(len(r.Checkpoints)))
+	for i := range r.Checkpoints {
+		cp := &r.Checkpoints[i]
+		c.u64(cp.Slot)
+		c.u16(uint16(cp.TokenAt + 1)) // -1 (unordered) encodes as 0
+		c.u64(cp.Fingerprint)
+		c.u64(cp.IntervalFingerprint)
+		writeChains := func(chains []uint64) {
+			if len(chains) == r.NProcs {
+				c.u8(1)
+				for _, ch := range chains {
+					c.u64(ch)
+				}
+			} else {
+				c.u8(0)
+			}
+		}
+		writeChains(cp.ProcChains)
+		writeChains(cp.IntervalChains)
+
+		for p := range cp.Procs {
+			pc := &cp.Procs[p]
+			var flags uint8
+			if pc.State.Halted {
+				flags |= cpHalted
+			}
+			if pc.State.InIntr {
+				flags |= cpInIntr
+			}
+			if pc.State.IntrUrgent {
+				flags |= cpIntrUrgent
+			}
+			if pc.Done {
+				flags |= cpDone
+			}
+			if pc.PendingIntr != nil {
+				flags |= cpPendingIntr
+				if pc.PendingIntr.Urgent {
+					flags |= cpPendUrgent
+				}
+			}
+			c.u8(flags)
+			c.u64(uint64(pc.State.PC))
+			for _, v := range pc.State.Reg {
+				c.u64(uint64(v))
+			}
+			c.u64(uint64(pc.State.IntrPC))
+			for _, v := range pc.State.IntrReg {
+				c.u64(uint64(v))
+			}
+			c.u64(pc.NextSeq)
+			c.u32(uint32(pc.IOConsumed))
+			if pc.PendingIntr != nil {
+				c.u64(pc.PendingIntr.Seq)
+				c.u64(uint64(pc.PendingIntr.Type))
+				c.u64(uint64(pc.PendingIntr.Data))
+			}
+		}
+
+		// Memory delta: canonical address order, then LZ77. Interval
+		// write footprints revisit the same working set, so the pair
+		// stream compresses well.
+		addrs := make([]uint32, 0, len(cp.MemDelta))
+		for a := range cp.MemDelta {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(x, y int) bool { return addrs[x] < addrs[y] })
+		raw := make([]byte, 0, 12*len(addrs))
+		var pair [12]byte
+		for _, a := range addrs {
+			binary.LittleEndian.PutUint32(pair[0:4], a)
+			binary.LittleEndian.PutUint64(pair[4:12], cp.MemDelta[a])
+			raw = append(raw, pair[:]...)
+		}
+		c.u32(uint32(len(addrs)))
+		packed, bits := lz77.Compress(raw)
+		c.packed(packed, bits)
+	}
+}
+
+// readCheckpoints parses the v3 checkpoint section.
+func (r *Recording) readCheckpoints(d *reader) error {
+	count := d.u32()
+	r.Checkpoints = make([]IntervalCheckpoint, 0, allocHint(count))
+	for i := uint32(0); i < count && d.err == nil; i++ {
+		var cp IntervalCheckpoint
+		cp.Slot = d.u64()
+		cp.TokenAt = int(d.u16()) - 1
+		cp.Fingerprint = d.u64()
+		cp.IntervalFingerprint = d.u64()
+		readChains := func() []uint64 {
+			if d.u8() != 1 {
+				return nil
+			}
+			chains := make([]uint64, r.NProcs)
+			for p := range chains {
+				chains[p] = d.u64()
+			}
+			return chains
+		}
+		cp.ProcChains = readChains()
+		cp.IntervalChains = readChains()
+
+		for p := 0; p < r.NProcs && d.err == nil; p++ {
+			var pc bulksc.ProcCheckpoint
+			flags := d.u8()
+			pc.State.Halted = flags&cpHalted != 0
+			pc.State.InIntr = flags&cpInIntr != 0
+			pc.State.IntrUrgent = flags&cpIntrUrgent != 0
+			pc.Done = flags&cpDone != 0
+			pc.State.PC = int(d.u64())
+			for k := range pc.State.Reg {
+				pc.State.Reg[k] = int64(d.u64())
+			}
+			pc.State.IntrPC = int(d.u64())
+			for k := range pc.State.IntrReg {
+				pc.State.IntrReg[k] = int64(d.u64())
+			}
+			pc.NextSeq = d.u64()
+			pc.IOConsumed = int(d.u32())
+			if d.err == nil && (pc.State.PC < 0 || pc.State.PC > 1<<31 ||
+				pc.State.IntrPC < 0 || pc.State.IntrPC > 1<<31 || pc.IOConsumed < 0) {
+				return corrupt("checkpoint %d proc %d has implausible resume state", i, p)
+			}
+			if flags&cpPendingIntr != 0 {
+				pc.PendingIntr = &bulksc.PendingIntr{
+					Seq:    d.u64(),
+					Type:   int64(d.u64()),
+					Data:   int64(d.u64()),
+					Urgent: flags&cpPendUrgent != 0,
+				}
+			}
+			cp.Procs = append(cp.Procs, pc)
+		}
+
+		words := d.u32()
+		packed, bits := d.packed()
+		if d.err != nil {
+			break
+		}
+		raw, err := lz77.Decompress(packed, bits)
+		if err != nil {
+			return corrupt("checkpoint %d memory delta: %v", i, err)
+		}
+		if len(raw) != 12*int(words) {
+			return corrupt("checkpoint %d memory delta holds %d bytes for %d words", i, len(raw), words)
+		}
+		cp.MemDelta = make(map[uint32]uint64, allocHint(words))
+		for off := 0; off+12 <= len(raw); off += 12 {
+			a := binary.LittleEndian.Uint32(raw[off : off+4])
+			cp.MemDelta[a] = binary.LittleEndian.Uint64(raw[off+4 : off+12])
+		}
+		r.Checkpoints = append(r.Checkpoints, cp)
+	}
+	return nil
 }
 
 type reader struct {
@@ -239,8 +423,9 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 	if string(magic[:]) != recMagic {
 		return nil, corrupt("not a DeLorean recording (magic %q)", magic)
 	}
-	if v := d.u16(); v != recVersion {
-		return nil, corrupt("unsupported recording version %d", v)
+	version := d.u16()
+	if version != 2 && version != recVersion {
+		return nil, corrupt("unsupported recording version %d", version)
 	}
 
 	r := &Recording{
@@ -364,6 +549,11 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 			}
 			prev = slot
 			r.Slots.Append(dlog.SlotEntry{Slot: slot, Proc: proc})
+		}
+	}
+	if version >= 3 {
+		if err := r.readCheckpoints(d); err != nil {
+			return nil, err
 		}
 	}
 	if d.u8() == 1 {

@@ -139,6 +139,131 @@ func TestSerializePicoLogWithSlots(t *testing.T) {
 	}
 }
 
+// TestSerializeCheckpoints: the v3 checkpoint section round-trips, the
+// loaded recording replays segmented, and the delta encoding is
+// strictly smaller than serializing full images at every cut.
+func TestSerializeCheckpoints(t *testing.T) {
+	cfg := testConfig(4, 250)
+	prog4 := replicateProgs(systemProgram(150), 4)
+	devs := device.New(42)
+	devs.GenerateInterrupts(rng.New(1), 4, 4_000, 2_000_000, 0.3)
+	devs.GenerateDMA(rng.New(2), 0x900, 4, 8, 6_000, 2_000_000)
+	rec, _ := record(t, cfg, OrderOnly, prog4, devs, RecordOptions{CheckpointEvery: 25})
+	if len(rec.Checkpoints) < 2 {
+		t.Fatalf("setup: only %d checkpoints", len(rec.Checkpoints))
+	}
+
+	got := roundTripRecording(t, rec)
+	if len(got.Checkpoints) != len(rec.Checkpoints) {
+		t.Fatalf("checkpoints: %d vs %d", len(got.Checkpoints), len(rec.Checkpoints))
+	}
+	for i := range rec.Checkpoints {
+		want, g := &rec.Checkpoints[i], &got.Checkpoints[i]
+		if g.Slot != want.Slot || g.TokenAt != want.TokenAt ||
+			g.Fingerprint != want.Fingerprint || g.IntervalFingerprint != want.IntervalFingerprint {
+			t.Fatalf("checkpoint %d metadata did not round-trip", i)
+		}
+		if len(g.MemDelta) != len(want.MemDelta) {
+			t.Fatalf("checkpoint %d delta: %d vs %d words", i, len(g.MemDelta), len(want.MemDelta))
+		}
+		for a, v := range want.MemDelta {
+			if g.MemDelta[a] != v {
+				t.Fatalf("checkpoint %d delta word %#x differs", i, a)
+			}
+		}
+		for p := range want.Procs {
+			if g.Procs[p] != want.Procs[p] && (g.Procs[p].PendingIntr == nil ||
+				want.Procs[p].PendingIntr == nil || *g.Procs[p].PendingIntr != *want.Procs[p].PendingIntr) {
+				t.Fatalf("checkpoint %d proc %d state did not round-trip", i, p)
+			}
+		}
+	}
+
+	// The loaded recording supports segmented replay and interval replay.
+	res, err := Replay(got, ReplayConfig(cfg), prog4, ReplayOptions{ReplayParallel: 4})
+	if err != nil {
+		t.Fatalf("segmented replay of loaded recording: %v", err)
+	}
+	if !res.Matches(rec) {
+		t.Fatal("segmented replay of loaded recording diverged")
+	}
+	mid := len(got.Checkpoints) / 2
+	ires, err := ReplayFromCheckpoint(got, mid, ReplayConfig(cfg), prog4, ReplayOptions{})
+	if err != nil {
+		t.Fatalf("interval replay of loaded recording: %v", err)
+	}
+	if !ires.MatchesInterval(got, mid) {
+		t.Fatal("interval replay of loaded recording diverged")
+	}
+}
+
+// streamProgram writes a fresh word every iteration, so the memory
+// footprint grows monotonically: late checkpoints have large full
+// images but small per-interval deltas — the access pattern delta
+// encoding exists for.
+func streamProgram(iters int) *isa.Program {
+	a := isa.NewAsm()
+	a.Ldi(1, 0x2000)
+	a.Muli(2, 15, 0x1000)
+	a.Add(1, 1, 2) // per-proc region base
+	a.Ldi(3, 0)
+	a.Ldi(4, int64(iters))
+	a.Label("loop")
+	a.Add(5, 1, 3)
+	a.Add(6, 3, 15)
+	a.Addi(6, 6, 1) // never store zero: zero words are elided from images
+	a.St(5, 0, 6)
+	a.Addi(3, 3, 1)
+	a.Blt(3, 4, "loop")
+	a.Halt()
+	return a.Assemble()
+}
+
+// TestSerializeDeltaSmallerThanFullImages: on a growing-footprint
+// workload the delta encoding must produce a strictly smaller stream
+// than serializing the materialized image at every cut.
+func TestSerializeDeltaSmallerThanFullImages(t *testing.T) {
+	cfg := testConfig(4, 250)
+	progs := replicateProgs(streamProgram(1000), 4)
+	rec, _ := record(t, cfg, OrderOnly, progs, nil, RecordOptions{CheckpointEvery: 20})
+	if len(rec.Checkpoints) < 3 {
+		t.Fatalf("setup: only %d checkpoints", len(rec.Checkpoints))
+	}
+	var dbuf bytes.Buffer
+	if _, err := rec.WriteTo(&dbuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-serialize the same recording with every checkpoint carrying its
+	// materialized image instead of the interval delta and compare.
+	origCk := rec.Checkpoints
+	fullCk := append([]IntervalCheckpoint(nil), origCk...)
+	for i := range fullCk {
+		img, err := rec.MaterializeCheckpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := make(map[uint32]uint64, len(img))
+		for a, v := range img {
+			cp[a] = v
+		}
+		fullCk[i].MemDelta = cp
+	}
+	rec.Checkpoints = fullCk
+	var fbuf bytes.Buffer
+	_, err := rec.WriteTo(&fbuf)
+	rec.Checkpoints = origCk
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbuf.Len() >= fbuf.Len() {
+		t.Fatalf("delta-encoded recording (%d bytes) not smaller than full-image encoding (%d bytes)",
+			dbuf.Len(), fbuf.Len())
+	}
+	t.Logf("checkpointed recording: %d bytes delta-encoded vs %d full-image (%.2fx)",
+		dbuf.Len(), fbuf.Len(), float64(fbuf.Len())/float64(dbuf.Len()))
+}
+
 func TestReadRecordingRejectsGarbage(t *testing.T) {
 	if _, err := ReadRecording(strings.NewReader("not a recording at all")); err == nil {
 		t.Fatal("garbage accepted")

@@ -1,6 +1,8 @@
 package diffcheck
 
 import (
+	"sort"
+
 	"delorean/internal/core"
 	"delorean/internal/dlog"
 	"delorean/internal/rng"
@@ -241,6 +243,79 @@ func RecordingFaults() []RecordingFault {
 				return true
 			}
 			return false
+		}},
+	}
+}
+
+// CheckpointFaults returns fault classes that damage the checkpoint
+// section of a recording. A sequential replay never reads checkpoint
+// images, so these faults can be invisible to it; the segmented replay
+// is the oracle that must catch every one (value damage surfaces as a
+// per-interval divergence, structural damage is rejected by Validate).
+func CheckpointFaults() []RecordingFault {
+	return []RecordingFault{
+		// Flip a bit in one checkpoint's memory delta. Every delta word
+		// was written during its interval with the recorded value, so the
+		// interval's replay reproduces the true value and the damaged
+		// expected image can never match.
+		{Name: "corrupt-ckpt-delta", Mutate: func(s *rng.Source, rec *core.Recording) bool {
+			for _, i := range s.Perm(len(rec.Checkpoints)) {
+				d := rec.Checkpoints[i].MemDelta
+				if len(d) == 0 {
+					continue
+				}
+				addrs := make([]uint32, 0, len(d))
+				for a := range d {
+					addrs = append(addrs, a)
+				}
+				sort.Slice(addrs, func(x, y int) bool { return addrs[x] < addrs[y] })
+				a := addrs[s.Intn(len(addrs))]
+				d[a] ^= 1 << uint(s.Intn(64))
+				return true
+			}
+			return false
+		}},
+		// Flip a bit in one checkpoint's interval fingerprint: the
+		// interval's replay can no longer match it.
+		{Name: "corrupt-ckpt-ivfp", Mutate: func(s *rng.Source, rec *core.Recording) bool {
+			if len(rec.Checkpoints) == 0 {
+				return false
+			}
+			i := s.Intn(len(rec.Checkpoints))
+			rec.Checkpoints[i].IntervalFingerprint ^= 1 << uint(s.Intn(64))
+			return true
+		}},
+		// Flip a bit in the last checkpoint's cumulative fingerprint: the
+		// final interval's suffix check must fail. (Only the last cut's
+		// cumulative fingerprint is read by segmented replay.)
+		{Name: "corrupt-ckpt-cumfp", Mutate: func(s *rng.Source, rec *core.Recording) bool {
+			if len(rec.Checkpoints) == 0 {
+				return false
+			}
+			rec.Checkpoints[len(rec.Checkpoints)-1].Fingerprint ^= 1 << uint(s.Intn(64))
+			return true
+		}},
+		// Swap two checkpoints' commit slots: the cut sequence is no
+		// longer strictly increasing, which Validate must reject.
+		{Name: "reorder-ckpt-slots", Mutate: func(s *rng.Source, rec *core.Recording) bool {
+			if len(rec.Checkpoints) < 2 {
+				return false
+			}
+			i := s.Intn(len(rec.Checkpoints) - 1)
+			cps := rec.Checkpoints
+			cps[i].Slot, cps[i+1].Slot = cps[i+1].Slot, cps[i].Slot
+			return true
+		}},
+		// Point one processor's I/O-consumption cursor past its log:
+		// structural damage Validate must reject before replay starts.
+		{Name: "corrupt-ckpt-iocursor", Mutate: func(s *rng.Source, rec *core.Recording) bool {
+			if len(rec.Checkpoints) == 0 {
+				return false
+			}
+			i := s.Intn(len(rec.Checkpoints))
+			p := s.Intn(rec.NProcs)
+			rec.Checkpoints[i].Procs[p].IOConsumed = rec.IO[p].Len() + 1 + s.Intn(8)
+			return true
 		}},
 	}
 }

@@ -22,7 +22,10 @@ func seedRecordingBytes(f *testing.F) [][]byte {
 	progs := GenPrograms(3, 2, gen)
 	var out [][]byte
 	for _, mode := range []core.Mode{core.OrderSize, core.OrderOnly, core.PicoLog} {
-		rec, err := core.Record(cfg, mode, progs, mem.New(), nil, core.RecordOptions{TruncSeed: 3})
+		// CheckpointEvery populates the v3 checkpoint section, so mutation
+		// reaches the delta-checkpoint decoder too.
+		rec, err := core.Record(cfg, mode, progs, mem.New(), nil,
+			core.RecordOptions{TruncSeed: 3, CheckpointEvery: 4})
 		if err != nil {
 			f.Fatalf("seed recording (%v): %v", mode, err)
 		}
@@ -95,19 +98,27 @@ func FuzzReplayRecording(f *testing.F) {
 		progs := GenPrograms(1, rec.NProcs, gen)
 		cfg := sim.Default8().WithProcs(rec.NProcs).WithChunkSize(rec.ChunkSize)
 		cfg.MaxInsts = 200_000
-		res, rerr := core.Replay(rec, core.ReplayConfig(cfg), progs, core.ReplayOptions{})
-		if rerr == nil {
-			// nil error means replay claims full reproduction — the
-			// self-verification invariant. A clean non-match would be a
-			// silent wrong result, the one outcome the harness forbids.
-			if !res.Matches(rec) {
-				t.Fatal("replay returned nil error but result does not match recording")
+		replay := func(opts core.ReplayOptions) {
+			res, rerr := core.Replay(rec, core.ReplayConfig(cfg), progs, opts)
+			if rerr == nil {
+				// nil error means replay claims full reproduction — the
+				// self-verification invariant. A clean non-match would be a
+				// silent wrong result, the one outcome the harness forbids.
+				if !res.Matches(rec) {
+					t.Fatal("replay returned nil error but result does not match recording")
+				}
+				return
 			}
-			return
+			var div *core.DivergenceError
+			if !errors.As(rerr, &div) && !errors.Is(rerr, core.ErrCorruptLog) {
+				t.Fatalf("untyped replay error: %v", rerr)
+			}
 		}
-		var div *core.DivergenceError
-		if !errors.As(rerr, &div) && !errors.Is(rerr, core.ErrCorruptLog) {
-			t.Fatalf("untyped replay error: %v", rerr)
+		replay(core.ReplayOptions{})
+		if len(rec.Checkpoints) > 0 {
+			// Segmented replay must uphold the same invariants when the
+			// fuzzer smuggles a checkpoint section past the loader.
+			replay(core.ReplayOptions{ReplayParallel: 2})
 		}
 	})
 }

@@ -195,7 +195,7 @@ func checkMode(rep *Report, seed uint64, opts Options, cfg sim.Config, mode core
 	lzRoundTrip(rep, mode, rec)
 
 	if opts.CheckpointEvery > 0 {
-		intervalReplay(rep, opts, cfg, mode, progs, base, record)
+		intervalReplay(rep, seed, opts, cfg, mode, progs, base, record)
 	}
 	if opts.Faults {
 		injectByteFaults(rep, seed, cfg, mode, progs, base)
@@ -244,18 +244,24 @@ func lzRoundTrip(rep *Report, mode core.Mode, rec *core.Recording) {
 }
 
 // intervalReplay records with periodic checkpoints (which must not
-// change the execution: same serialized bytes) and replays each
-// interval, sequentially and under the last parallel worker count.
-func intervalReplay(rep *Report, opts Options, cfg sim.Config, mode core.Mode,
+// change the execution: byte-identical serialization once the
+// checkpoint section is stripped) and replays each interval,
+// sequentially and under the last parallel worker count. It then runs
+// the segmented-replay and checkpoint-fault oracles on the same
+// checkpointed recording.
+func intervalReplay(rep *Report, seed uint64, opts Options, cfg sim.Config, mode core.Mode,
 	progs []*isa.Program, base []byte, record func(par int, every uint64) (*core.Recording, error)) {
 	recCP, err := record(0, opts.CheckpointEvery)
 	if err != nil {
 		rep.failf("%v: record with checkpoints: %v", mode, err)
 		return
 	}
+	ck := recCP.Checkpoints
+	recCP.Checkpoints = nil
 	if b := serialize(rep, mode, recCP); b != nil {
-		rep.check(bytes.Equal(b, base), "%v: checkpointing changed the recording", mode)
+		rep.check(bytes.Equal(b, base), "%v: checkpointing changed the execution", mode)
 	}
+	recCP.Checkpoints = ck
 	if len(recCP.Checkpoints) == 0 {
 		rep.failf("%v: no checkpoints taken (every=%d, %d chunks)",
 			mode, opts.CheckpointEvery, recCP.Stats.Chunks)
@@ -275,6 +281,85 @@ func intervalReplay(rep *Report, opts Options, cfg sim.Config, mode core.Mode,
 			}
 			rep.check(res.MatchesInterval(recCP, idx),
 				"%v: interval replay cp=%d par=%d does not match", mode, idx, par)
+		}
+	}
+
+	segmentedReplay(rep, opts, cfg, mode, progs, recCP)
+	if opts.Faults {
+		injectCheckpointFaults(rep, seed, opts, cfg, mode, progs, recCP)
+	}
+}
+
+// segmentedReplay checks the segmented-replay oracle on a clean
+// checkpointed recording: every worker count must reach the sequential
+// verdict, and the segmented results must be byte-identical across
+// worker counts — the fan-out is a scheduling choice, never an outcome.
+func segmentedReplay(rep *Report, opts Options, cfg sim.Config, mode core.Mode,
+	progs []*isa.Program, recCP *core.Recording) {
+	seqRes, seqErr := core.Replay(recCP, core.ReplayConfig(cfg), progs, core.ReplayOptions{})
+	if seqErr != nil {
+		rep.failf("%v: sequential replay of checkpointed recording: %v", mode, seqErr)
+		return
+	}
+	rep.check(seqRes.Matches(recCP), "%v: sequential replay of checkpointed recording diverged", mode)
+
+	var first *core.ReplayResult
+	for _, par := range opts.Parallel {
+		if par < 1 {
+			continue
+		}
+		res, err := core.Replay(recCP, core.ReplayConfig(cfg), progs,
+			core.ReplayOptions{ReplayParallel: par})
+		if err != nil {
+			rep.failf("%v: segmented replay par=%d: %v", mode, par, err)
+			continue
+		}
+		rep.check(res.Fingerprint == seqRes.Fingerprint && res.MemHash == seqRes.MemHash,
+			"%v: segmented replay par=%d verdict differs from sequential", mode, par)
+		if first == nil {
+			r := res
+			first = &r
+		} else {
+			rep.check(reflect.DeepEqual(*first, res),
+				"%v: segmented replay par=%d result differs across worker counts", mode, par)
+		}
+	}
+}
+
+// injectCheckpointFaults damages the checkpoint section and demands the
+// segmented replay catch it. This is the documented oracle asymmetry:
+// a sequential replay never reads checkpoint images, so it may well
+// still report a clean match on the same damage — only the segmented
+// replay (or Validate, for structural damage) sees it.
+func injectCheckpointFaults(rep *Report, seed uint64, opts Options, cfg sim.Config,
+	mode core.Mode, progs []*isa.Program, recCP *core.Recording) {
+	base := serialize(rep, mode, recCP)
+	if base == nil {
+		return
+	}
+	par := opts.Parallel[len(opts.Parallel)-1]
+	for fi, f := range CheckpointFaults() {
+		s := rng.New(seed<<10 ^ uint64(fi)<<6 ^ uint64(mode))
+		rec, err := core.ReadRecording(bytes.NewReader(base))
+		if err != nil {
+			rep.failf("%v/%s: reload for checkpoint fault: %v", mode, f.Name, err)
+			return
+		}
+		if !f.Mutate(s, rec) {
+			continue
+		}
+		_, err = core.Replay(rec, core.ReplayConfig(cfg), progs,
+			core.ReplayOptions{ReplayParallel: par})
+		var div *core.DivergenceError
+		switch {
+		case errors.As(err, &div), errors.Is(err, core.ErrCorruptLog):
+			rep.Checks++ // detected: the desired outcome
+		case err == nil:
+			rep.Checks++
+			rep.failf("%v/%s: segmented replay reported a clean match on a damaged checkpoint", mode, f.Name)
+		default:
+			rep.Checks++
+			rep.failf("%v/%s: untyped segmented replay error: %v", mode, f.Name, err)
 		}
 	}
 }

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"delorean/internal/core"
+	"delorean/internal/metrics"
+	"delorean/internal/workload"
+)
+
+// ReplaySpeedRow is one (workload, workers) point of the segmented
+// replay-speed figure: host wall-clock time of a checkpoint-partitioned
+// parallel replay, normalized to the sequential replay of the same
+// checkpointed recording. Workers == 0 is the sequential reference row.
+type ReplaySpeedRow struct {
+	Workload  string
+	Intervals int
+	Workers   int
+	Millis    float64
+	Speedup   float64
+}
+
+// ReplaySpeed measures the wall-clock speedup of segmented parallel
+// replay (core.ReplayOptions.ReplayParallel) over sequential replay.
+// Unlike the simulated-cycle figures this measures host time, so the
+// workloads run strictly serially — fanning them across the worker pool
+// would contaminate the timings — and the memo cache is bypassed. The
+// verdicts are deterministic; only the timings vary run to run.
+//
+// Each workload is recorded in OrderOnly with a checkpoint period sized
+// for ~32 intervals, every replay's result is verified against the
+// recording, and the speedup column is sequential-ms / this-row-ms.
+func ReplaySpeed(c Config, workers []int) ([]ReplaySpeedRow, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	var rows []ReplaySpeedRow
+	for _, name := range c.workloads() {
+		cfg := c.machine()
+
+		// Probe run to size the checkpoint period off the commit count:
+		// ~32 intervals, floored so each interval holds at least four
+		// chunks per processor. Finer cuts make intervals that are mostly
+		// pipeline warmup — a resumed interval's cores must refill their
+		// chunk pipelines from the checkpoint before its first commit can
+		// be granted, a cost that is paid once per interval regardless of
+		// interval length.
+		w := workload.Get(name, c.params())
+		probe, err := core.Record(cfg, core.OrderOnly, w.Progs, w.InitMem(), w.Devs, core.RecordOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: probe record: %w", name, err)
+		}
+		every := probe.Stats.Chunks / 32
+		if min := uint64(4 * cfg.NProcs); every < min {
+			every = min
+		}
+		w = workload.Get(name, c.params())
+		rec, err := core.Record(cfg, core.OrderOnly, w.Progs, w.InitMem(), w.Devs,
+			core.RecordOptions{CheckpointEvery: every})
+		if err != nil {
+			return nil, fmt.Errorf("%s: record: %w", name, err)
+		}
+
+		rcfg := core.ReplayConfig(cfg)
+		// Each row is the minimum of three runs: host wall-clock is noisy
+		// and the first segmented pass additionally pays the one-time
+		// materialization of the checkpoint images (cached on the
+		// recording afterwards), which is recording-owned state every
+		// subsequent replay shares.
+		timed := func(par int) (float64, error) {
+			best := 0.0
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				res, err := core.Replay(rec, rcfg, w.Progs, core.ReplayOptions{ReplayParallel: par})
+				ms := float64(time.Since(start).Microseconds()) / 1000
+				if err != nil {
+					return 0, fmt.Errorf("%s workers=%d: %w", name, par, err)
+				}
+				if !res.Matches(rec) {
+					return 0, fmt.Errorf("%s workers=%d: replay diverged", name, par)
+				}
+				if rep == 0 || ms < best {
+					best = ms
+				}
+			}
+			return best, nil
+		}
+
+		seqMs, err := timed(0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ReplaySpeedRow{
+			Workload: name, Intervals: len(rec.Checkpoints) + 1, Millis: seqMs, Speedup: 1,
+		})
+		for _, par := range workers {
+			ms, err := timed(par)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ReplaySpeedRow{
+				Workload: name, Intervals: len(rec.Checkpoints) + 1, Workers: par,
+				Millis: ms, Speedup: metrics.SafeDiv(seqMs, ms),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderReplaySpeed renders the replay-speed figure.
+func RenderReplaySpeed(rows []ReplaySpeedRow) string {
+	t := &metrics.Table{
+		Title: "Replay speed: checkpoint-partitioned parallel replay (host wall-clock)",
+		Cols:  []string{"workload", "intervals", "workers", "ms", "speedup"},
+	}
+	for _, r := range rows {
+		wk := "seq"
+		if r.Workers > 0 {
+			wk = fmt.Sprint(r.Workers)
+		}
+		t.AddRow(r.Workload, fmt.Sprint(r.Intervals), wk, metrics.F(r.Millis), metrics.F(r.Speedup))
+	}
+	return t.Render()
+}

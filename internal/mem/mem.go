@@ -17,6 +17,11 @@ import (
 // models.
 type Memory struct {
 	words map[uint32]uint64
+
+	// journal, while journaling, maps every address written since
+	// BeginJournal to its value at BeginJournal time (first write wins).
+	journal    map[uint32]uint64
+	journaling bool
 }
 
 // New returns an empty memory.
@@ -31,6 +36,11 @@ func (m *Memory) Load(addr uint32) uint64 { return m.words[addr] }
 // entry; Hash and Snapshot must not distinguish "never written" from
 // "written zero", so both are canonicalized (see Hash).
 func (m *Memory) Store(addr uint32, v uint64) {
+	if m.journaling {
+		if _, ok := m.journal[addr]; !ok {
+			m.journal[addr] = m.words[addr]
+		}
+	}
 	if v == 0 {
 		delete(m.words, addr)
 		return
@@ -52,10 +62,86 @@ func (m *Memory) Snapshot() map[uint32]uint64 {
 }
 
 // Restore replaces the memory contents with a snapshot taken earlier.
+// Zero-valued snapshot entries are dropped (the canonical form Store
+// maintains), and an existing backing map is reused rather than
+// reallocated — replay workers Restore once per checkpoint interval.
+// Restore bypasses the write journal; callers tracking writes against
+// the restored state start a fresh journal with BeginJournal after it.
 func (m *Memory) Restore(s map[uint32]uint64) {
-	m.words = make(map[uint32]uint64, len(s))
+	if m.words == nil {
+		m.words = make(map[uint32]uint64, len(s))
+	} else {
+		clear(m.words)
+	}
 	for a, v := range s {
-		m.words[a] = v
+		if v != 0 {
+			m.words[a] = v
+		}
+	}
+}
+
+// BeginJournal starts (or restarts) write journaling: from now until
+// EndJournal, the first Store to each address records the value the
+// address held at BeginJournal time. The journal backs EqualDelta's
+// O(written) equality check; journaling costs one map probe per Store.
+func (m *Memory) BeginJournal() {
+	if m.journal == nil {
+		m.journal = make(map[uint32]uint64)
+	} else {
+		clear(m.journal)
+	}
+	m.journaling = true
+}
+
+// EndJournal stops write journaling. The recorded journal remains
+// available to EqualDelta until the next BeginJournal.
+func (m *Memory) EndJournal() { m.journaling = false }
+
+// EqualDelta reports whether the memory's contents equal base+delta,
+// where base is the contents at the last BeginJournal and delta maps
+// changed addresses to their new values (zero meaning the word became
+// zero). The check is exact — sound and complete — in O(|delta| +
+// words written since BeginJournal), with no sort and no allocation:
+//
+//   - every delta address must hold its delta value;
+//   - every journaled (written) address outside the delta must have
+//     been restored to its base value;
+//   - unwritten addresses outside the delta still hold their base
+//     value, which the delta asserts is unchanged — nothing to check.
+//
+// A base word the delta claims changed but the execution never wrote
+// fails the first rule (the delta value differs from the base value it
+// still holds), so missing writes are caught, not just wrong ones.
+func (m *Memory) EqualDelta(delta map[uint32]uint64) bool {
+	for a, v := range delta {
+		if m.words[a] != v {
+			return false
+		}
+	}
+	for a, base := range m.journal {
+		if _, in := delta[a]; in {
+			continue
+		}
+		if m.words[a] != base {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyDelta applies a checkpoint-style delta in place: zero-valued
+// entries delete the word (the canonical form Store maintains), others
+// overwrite it. Rolling a memory from one checkpoint image to a later
+// one this way costs O(|delta|) where a Restore of the target image
+// costs O(footprint). ApplyDelta bypasses the write journal — it is
+// state setup, not simulated execution.
+func (m *Memory) ApplyDelta(delta map[uint32]uint64) {
+	for a, v := range delta {
+		if v == 0 {
+			delete(m.words, a)
+		} else {
+			m.words[a] = v
+		}
 	}
 }
 
@@ -73,6 +159,27 @@ func (m *Memory) Hash() uint64 {
 	for _, a := range addrs {
 		binary.LittleEndian.PutUint32(buf[0:4], a)
 		binary.LittleEndian.PutUint64(buf[4:12], m.words[a])
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// HashSnapshot hashes a snapshot map with the same canonical encoding as
+// Hash: FNV-1a over nonzero words in address order. A memory and a
+// snapshot of it hash equally without materializing a Memory.
+func HashSnapshot(s map[uint32]uint64) uint64 {
+	addrs := make([]uint32, 0, len(s))
+	for a, v := range s {
+		if v != 0 {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := fnv.New64a()
+	var buf [12]byte
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint32(buf[0:4], a)
+		binary.LittleEndian.PutUint64(buf[4:12], s[a])
 		h.Write(buf[:])
 	}
 	return h.Sum64()

@@ -75,6 +75,100 @@ func TestSnapshotIsIndependent(t *testing.T) {
 	}
 }
 
+func TestEqualDelta(t *testing.T) {
+	m := New()
+	m.Store(1, 10)
+	m.Store(2, 20)
+	m.Store(3, 30)
+	m.BeginJournal()
+	m.Store(2, 99)  // changed, matches the delta below
+	m.Store(3, 0)   // became zero, matches the delta
+	m.Store(4, 40)  // scratch write...
+	m.Store(4, 0)   // ...restored to its base value (zero)
+	m.Store(5, 77)  // scratch write...
+	m.Store(5, 77)  // ...double write keeps the first-seen base
+	m.Store(5, 0)   // ...restored
+	delta := map[uint32]uint64{2: 99, 3: 0}
+	if !m.EqualDelta(delta) {
+		t.Fatal("EqualDelta rejected base+delta state")
+	}
+	// A delta word the execution never wrote: the word still holds its
+	// base value, which differs from the delta's claim.
+	if m.EqualDelta(map[uint32]uint64{1: 11, 2: 99, 3: 0}) {
+		t.Fatal("EqualDelta missed an unapplied delta word")
+	}
+	// A write outside the delta that was not restored.
+	m.Store(6, 60)
+	if m.EqualDelta(delta) {
+		t.Fatal("EqualDelta missed a stray write")
+	}
+	m.Store(6, 0)
+	if !m.EqualDelta(delta) {
+		t.Fatal("EqualDelta rejected state after stray write was undone")
+	}
+}
+
+// Property: EqualDelta(delta) agrees with materializing base+delta and
+// comparing canonical hashes, for random write sequences journaled on
+// top of a random base.
+func TestQuickEqualDeltaMatchesHash(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		m := New()
+		for i := 0; i < 100; i++ {
+			m.Store(uint32(s.Intn(32)), s.Uint64()%4)
+		}
+		base := m.Snapshot()
+		m.BeginJournal()
+		for i := 0; i < 100; i++ {
+			m.Store(uint32(s.Intn(32)), s.Uint64()%4)
+		}
+		delta := map[uint32]uint64{}
+		for i := 0; i < 20; i++ {
+			delta[uint32(s.Intn(32))] = s.Uint64() % 4
+		}
+		img := make(map[uint32]uint64, len(base))
+		for a, v := range base {
+			img[a] = v
+		}
+		for a, v := range delta {
+			if v == 0 {
+				delete(img, a)
+			} else {
+				img[a] = v
+			}
+		}
+		return m.EqualDelta(delta) == (m.Hash() == HashSnapshot(img))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDeltaMatchesRestore(t *testing.T) {
+	s := rng.New(7)
+	m, ref := New(), New()
+	for i := 0; i < 100; i++ {
+		a, v := uint32(s.Intn(32)), s.Uint64()%4
+		m.Store(a, v)
+		ref.Store(a, v)
+	}
+	delta := map[uint32]uint64{3: 0, 9: 900, 31: 1}
+	m.ApplyDelta(delta)
+	img := ref.Snapshot()
+	for a, v := range delta {
+		if v == 0 {
+			delete(img, a)
+		} else {
+			img[a] = v
+		}
+	}
+	ref.Restore(img)
+	if m.Hash() != ref.Hash() {
+		t.Fatal("ApplyDelta diverged from Restore of the folded image")
+	}
+}
+
 // Property: restore(snapshot(m)) preserves Hash under arbitrary
 // interleaved mutation.
 func TestQuickSnapshotRoundTrip(t *testing.T) {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"delorean/internal/cache"
+	"delorean/internal/isa"
 )
 
 // MemSys is the timing side of the memory hierarchy: per-processor L1
@@ -84,6 +85,32 @@ func NewMemSys(cfg *Config) *MemSys {
 	}
 	ms.pc = make([]procCounters, cfg.NProcs)
 	return ms
+}
+
+// Reset returns the hierarchy to its post-construction state for reuse
+// under cfg: cold caches, empty directory, zeroed counters, latencies
+// re-bound to cfg. Segmented replay reuses one hierarchy across its
+// per-interval engines — reconstructing tens of thousands of L2 sets
+// per interval dominated replay time — so Reset must be equivalent to
+// NewMemSys(cfg). cfg must describe the geometry the hierarchy was
+// built with; a mismatch panics, as cache.New would for a bad geometry.
+func (ms *MemSys) Reset(cfg *Config) {
+	if cfg.NProcs != len(ms.l1) ||
+		ms.l2.NumSets()*ms.l2.Ways() != cfg.L2Bytes/isa.LineBytes || ms.l2.Ways() != cfg.L2Ways ||
+		ms.l1[0].NumSets()*ms.l1[0].Ways() != cfg.L1Bytes/isa.LineBytes || ms.l1[0].Ways() != cfg.L1Ways {
+		panic("sim: MemSys.Reset with a different geometry")
+	}
+	ms.cfg = cfg
+	ms.l2.Flush()
+	for _, c := range ms.l1 {
+		c.Flush()
+	}
+	clear(ms.sharers)
+	clear(ms.owner)
+	ms.L1Hits, ms.L2Hits, ms.MemAccesses, ms.C2CTransfers, ms.Upgrades = 0, 0, 0, 0, 0
+	for i := range ms.pc {
+		ms.pc[i] = procCounters{}
+	}
 }
 
 // L1 exposes processor p's L1 geometry (the chunk engine needs SetOf/Ways

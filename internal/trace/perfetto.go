@@ -34,6 +34,7 @@ const (
 	tidArbiter = 1 << 20 // arbiter / commit pipeline row
 	tidSched   = 1<<20 + 1
 	tidLog     = 1<<20 + 2
+	tidReplay  = 1<<20 + 3 // segmented-replay interval spans (slot axis)
 )
 
 var truncNames = map[uint64]string{
@@ -93,6 +94,9 @@ func (s *Sink) WriteTraceEvent(w io.Writer) error {
 		return err
 	}
 	if err := meta(tidLog, "logs"); err != nil {
+		return err
+	}
+	if err := meta(tidReplay, "replay segments"); err != nil {
 		return err
 	}
 
@@ -170,6 +174,20 @@ func (s *Sink) WriteTraceEvent(w io.Writer) error {
 		case Stall:
 			err = emit(teEvent{Name: "stall", Cat: "stall", Ph: "i", Ts: ev.Time,
 				Pid: 0, Tid: int(ev.Proc), Args: map[string]any{"cycles": ev.A, "why": ev.B}})
+		case ReplaySegment:
+			// The segment row's axis is commit slots, not cycles: each
+			// interval spans [A, B) of the recording's commit order.
+			verdict := "ok"
+			if ev.C == 0 {
+				verdict = "divergent"
+			}
+			dur := uint64(0)
+			if ev.B > ev.A {
+				dur = ev.B - ev.A
+			}
+			err = emit(teEvent{Name: fmt.Sprintf("interval %d", ev.Seq), Cat: "replay", Ph: "X",
+				Ts: ev.A, Dur: dur, Pid: 0, Tid: tidReplay,
+				Args: map[string]any{"start-slot": ev.A, "end-slot": ev.B, "verdict": verdict}})
 		}
 		if err != nil {
 			return err

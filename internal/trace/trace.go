@@ -64,6 +64,12 @@ const (
 	// Stall: a core left a blocked state. A = blocked cycles, B = the
 	// block reason as reported by the engine.
 	Stall
+	// ReplaySegment: one checkpoint-delimited interval of a segmented
+	// replay, emitted by the driver after the workers finish. Seq = the
+	// interval index, A = start commit slot, B = end commit slot (the
+	// actually reached slot for the final, unbounded interval), C = 1 if
+	// the interval reproduced the recording, 0 if it diverged.
+	ReplaySegment
 )
 
 // String returns a short name for the kind.
@@ -93,6 +99,8 @@ func (k Kind) String() string {
 		return "divergence"
 	case Stall:
 		return "stall"
+	case ReplaySegment:
+		return "replay-segment"
 	}
 	return "event(?)"
 }

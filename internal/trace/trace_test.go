@@ -60,7 +60,7 @@ func TestEventsMergeOrder(t *testing.T) {
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{ChunkStart, ChunkComplete, ChunkSubmit, ChunkSquash,
 		ChunkCommit, DMACommit, Window, ArbQueue, ArbDeny, LogSample,
-		Divergence, Stall}
+		Divergence, Stall, ReplaySegment}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		name := k.String()
@@ -91,6 +91,7 @@ func sampleSink() *Sink {
 	s.Global().Emit(Event{Time: 140, Proc: -1, Kind: Window, A: 2})
 	s.Global().Emit(Event{Time: 150, Proc: 1, Kind: Stall, A: 30, B: 2})
 	s.Global().Emit(Event{Time: 160, Proc: 1, Kind: Divergence, Seq: ^uint64(0), A: ^uint64(0)})
+	s.Global().Emit(Event{Time: 170, Proc: -1, Kind: ReplaySegment, Seq: 1, A: 40, B: 80, C: 1})
 	s.Counters.Set("cycles", 160)
 	s.Counters.Add("chunks.committed", 1)
 	return s
@@ -108,11 +109,12 @@ func TestWriteTraceEventRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ValidateTraceEvent: %v\n%s", err, buf.Bytes())
 	}
-	// 5 thread-name metadata rows (2 procs + arbiter + scheduler + logs)
-	// plus one row per timeline event except the two ChunkStarts, which
-	// only open slices (one closes via complete, one via squash — the
-	// squash emits both the closing slice and its instant).
-	want := 5 + len(s.Events()) - 2 + 1
+	// 6 thread-name metadata rows (2 procs + arbiter + scheduler + logs +
+	// replay segments) plus one row per timeline event except the two
+	// ChunkStarts, which only open slices (one closes via complete, one
+	// via squash — the squash emits both the closing slice and its
+	// instant).
+	want := 6 + len(s.Events()) - 2 + 1
 	if n != want {
 		t.Errorf("exported %d events, want %d", n, want)
 	}

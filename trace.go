@@ -105,6 +105,7 @@ func (r *Recording) ReplayTraced(opts ReplayWith) (ReplayResult, *ExecTrace, err
 		UseStratified:  opts.UseStratified,
 		ExactConflicts: r.cfg.ExactConflicts,
 		Parallel:       r.cfg.SimParallel,
+		ReplayParallel: opts.Parallel,
 		Trace:          sink,
 	}
 	if opts.PerturbSeed != 0 {
@@ -115,9 +116,11 @@ func (r *Recording) ReplayTraced(opts ReplayWith) (ReplayResult, *ExecTrace, err
 	if err != nil {
 		var div *core.DivergenceError
 		if errors.As(err, &div) {
-			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats)}, tr, nil
+			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats),
+				DivergentInterval: div.Interval}, tr, nil
 		}
 		return ReplayResult{}, nil, fmt.Errorf("delorean: replay: %w", err)
 	}
-	return ReplayResult{Deterministic: res.Matches(r.rec), Stats: execStats(res.Stats)}, tr, nil
+	return ReplayResult{Deterministic: res.Matches(r.rec), Stats: execStats(res.Stats),
+		DivergentInterval: -1}, tr, nil
 }
