@@ -17,6 +17,7 @@
 //	-simparallel n   intra-run simulator workers (default 1: sequential)
 //	-checkpoint n    take a checkpoint every n chunk commits (0: off)
 //	-replay-parallel n  replay checkpoint intervals on n workers
+//	-save-parallel n    save/load compression workers (bytes identical)
 //	-trace-out f     write a Perfetto/chrome trace of the run to f
 //	-list            list workloads and exit
 package main
@@ -46,6 +47,7 @@ func main() {
 		repPar   = flag.Int("replay-parallel", 0, "replay checkpoint-delimited intervals on n workers (0: sequential)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		savePath = flag.String("save", "", "save the recording to this file")
+		savePar  = flag.Int("save-parallel", 0, "save/load compression workers (0: host default, 1: sequential); bytes are identical either way")
 		loadPath = flag.String("load", "", "replay a previously saved recording instead of recording")
 		traceOut = flag.String("trace-out", "", "write a Perfetto/chrome trace of the recording run (or, with -load, the first replay) to this file")
 	)
@@ -89,7 +91,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, ferr)
 			os.Exit(1)
 		}
-		rec, err = delorean.LoadRecording(f, cfg, w)
+		rec, err = delorean.LoadRecordingParallel(f, cfg, w, *savePar)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "load failed:", err)
@@ -119,7 +121,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, ferr)
 			os.Exit(1)
 		}
-		if err := rec.Save(f); err != nil {
+		if err := rec.SaveParallel(f, *savePar); err != nil {
 			fmt.Fprintln(os.Stderr, "save failed:", err)
 			os.Exit(1)
 		}

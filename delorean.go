@@ -385,18 +385,34 @@ func (r *Recording) ReplayFromCheckpoint(idx int, opts ReplayWith) (ReplayResult
 
 // Save serializes the recording (logs, checkpoint, verification hashes)
 // so it can be replayed later or elsewhere; Load it back with
-// LoadRecording and the same workload programs.
+// LoadRecording and the same workload programs. Shards are compressed on
+// a host-sized worker pool; the bytes are identical at any worker count.
 func (r *Recording) Save(w io.Writer) error {
 	_, err := r.rec.WriteTo(w)
 	return err
 }
 
-// LoadRecording deserializes a recording saved with Save. The workload
-// must be regenerated identically (same name/parameters or the same
-// custom programs); cfg supplies machine parameters not stored in the
-// recording (the processor count and chunk size come from the file).
+// SaveParallel is Save with an explicit compression worker count
+// (0: host default, 1: fully sequential). The output is byte-identical
+// regardless of workers; only wall clock and peak memory differ.
+func (r *Recording) SaveParallel(w io.Writer, workers int) error {
+	_, err := r.rec.WriteToParallel(w, workers)
+	return err
+}
+
+// LoadRecording deserializes a recording saved with Save (any supported
+// format version). The workload must be regenerated identically (same
+// name/parameters or the same custom programs); cfg supplies machine
+// parameters not stored in the recording (the processor count and chunk
+// size come from the file).
 func LoadRecording(src io.Reader, cfg Config, w *Workload) (*Recording, error) {
-	rec, err := core.ReadRecording(src)
+	return LoadRecordingParallel(src, cfg, w, 0)
+}
+
+// LoadRecordingParallel is LoadRecording with an explicit decode worker
+// count for v4 recordings (0: host default, 1: fully sequential).
+func LoadRecordingParallel(src io.Reader, cfg Config, w *Workload, workers int) (*Recording, error) {
+	rec, err := core.ReadRecordingParallel(src, workers)
 	if err != nil {
 		return nil, err
 	}

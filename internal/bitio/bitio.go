@@ -10,6 +10,7 @@ package bitio
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Writer accumulates values of arbitrary bit width into a byte stream.
@@ -29,11 +30,10 @@ func (w *Writer) WriteBits(v uint64, n int) {
 	if n < 64 {
 		v &= (1 << uint(n)) - 1
 	}
-	for n > 0 {
-		off := w.nbit & 7
-		if off == 0 {
-			w.buf = append(w.buf, 0)
-		}
+	// Fill the current partial byte, then append whole bytes of v at a
+	// time — the bit-shuffling per partial byte is paid at most once per
+	// call instead of once per byte.
+	if off := w.nbit & 7; off != 0 && n > 0 {
 		take := 8 - off
 		if take > n {
 			take = n
@@ -42,6 +42,16 @@ func (w *Writer) WriteBits(v uint64, n int) {
 		v >>= uint(take)
 		w.nbit += take
 		n -= take
+	}
+	for n >= 8 {
+		w.buf = append(w.buf, byte(v))
+		v >>= 8
+		w.nbit += 8
+		n -= 8
+	}
+	if n > 0 {
+		w.buf = append(w.buf, byte(v))
+		w.nbit += n
 	}
 }
 
@@ -85,6 +95,22 @@ func (w *Writer) Reset() {
 	w.nbit = 0
 }
 
+// writerPool recycles Writers for transient packing work — the recording
+// serializer packs every shard through a scratch writer, and a fresh
+// buffer per shard would dominate the save path's allocation profile.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns an empty Writer from the package pool.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles w. The caller must not retain w or any slice
+// obtained from its Bytes after the call.
+func PutWriter(w *Writer) { writerPool.Put(w) }
+
 // ErrShortStream is returned by Reader when a read runs past the end of
 // the stream.
 var ErrShortStream = errors.New("bitio: read past end of stream")
@@ -115,17 +141,25 @@ func (r *Reader) ReadBits(n int) (uint64, error) {
 	}
 	var v uint64
 	got := 0
-	for got < n {
-		byteIdx := r.pos >> 3
-		off := r.pos & 7
+	// Mirror of WriteBits: drain the current partial byte once, then
+	// consume whole bytes.
+	if off := r.pos & 7; off != 0 && n > 0 {
 		take := 8 - off
-		if take > n-got {
-			take = n - got
+		if take > n {
+			take = n
 		}
-		bits := uint64(r.buf[byteIdx]>>uint(off)) & ((1 << uint(take)) - 1)
-		v |= bits << uint(got)
-		got += take
+		v = uint64(r.buf[r.pos>>3]>>uint(off)) & ((1 << uint(take)) - 1)
+		got = take
 		r.pos += take
+	}
+	for n-got >= 8 {
+		v |= uint64(r.buf[r.pos>>3]) << uint(got)
+		got += 8
+		r.pos += 8
+	}
+	if rem := n - got; rem > 0 {
+		v |= (uint64(r.buf[r.pos>>3]) & ((1 << uint(rem)) - 1)) << uint(got)
+		r.pos += rem
 	}
 	return v, nil
 }

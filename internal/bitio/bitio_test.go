@@ -170,6 +170,95 @@ func TestQuickUvarintRoundTrip(t *testing.T) {
 	}
 }
 
+// refWrite is the original bit-at-a-time packing; the byte-bulk fast
+// path in WriteBits must produce identical streams.
+func refWrite(fields []uint64, widths []int) ([]byte, int) {
+	var buf []byte
+	nbit := 0
+	for i, v := range fields {
+		for k := 0; k < widths[i]; k++ {
+			if nbit&7 == 0 {
+				buf = append(buf, 0)
+			}
+			buf[len(buf)-1] |= byte((v>>uint(k))&1) << uint(nbit&7)
+			nbit++
+		}
+	}
+	return buf, nbit
+}
+
+// Property: the byte-bulk writer matches the bit-at-a-time reference
+// stream exactly (not just round-trip — byte-identical output, which the
+// serialized recording format depends on).
+func TestQuickWriterMatchesReference(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		var w Writer
+		fields := make([]uint64, 0, n)
+		ws := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			width := int(widths[i] % 65) // 0..64 inclusive: zero-width writes are legal
+			v := vals[i]
+			if width < 64 {
+				v &= (1 << uint(width)) - 1
+			}
+			w.WriteBits(v, width)
+			fields = append(fields, v)
+			ws = append(ws, width)
+		}
+		refBuf, refBits := refWrite(fields, ws)
+		if w.Len() != refBits {
+			return false
+		}
+		got := w.Bytes()
+		if len(got) != len(refBuf) {
+			return false
+		}
+		for i := range got {
+			if got[i] != refBuf[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBitsZeroWidth(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xff, 0)
+	w.WriteBits(0x5, 3)
+	w.WriteBits(0xff, 0)
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if v, err := r.ReadBits(3); err != nil || v != 5 {
+		t.Fatalf("got %#x, %v", v, err)
+	}
+}
+
+func TestWriterPool(t *testing.T) {
+	w := GetWriter()
+	w.WriteBits(0xabcd, 16)
+	PutWriter(w)
+	w2 := GetWriter()
+	if w2.Len() != 0 || len(w2.Bytes()) != 0 {
+		t.Fatalf("pooled writer not reset: Len=%d bytes=%d", w2.Len(), len(w2.Bytes()))
+	}
+	w2.WriteBits(7, 3)
+	r := NewReader(w2.Bytes(), w2.Len())
+	if v, err := r.ReadBits(3); err != nil || v != 7 {
+		t.Fatalf("got %#x, %v", v, err)
+	}
+	PutWriter(w2)
+}
+
 func BenchmarkWriteBits4(b *testing.B) {
 	var w Writer
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,677 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"delorean/internal/dlog"
+	"delorean/internal/lz77"
+	"delorean/internal/runner"
+)
+
+// v4 "DLRN4" container: the header is identical to v3 through the stats
+// words, then the body is a sequence of independently framed shards —
+// one frame per log stream (per-processor streams get one frame per
+// processor) — terminated by an end frame. Each frame is:
+//
+//	kind u8 | shard u32 | enc u8 | payloadLen u32 | crc32 u32 | payload
+//
+// where crc32 is IEEE over the encoded payload, enc 0 is a raw payload
+// and enc 1 is an LZ77 payload (rawLen u32 | bitLen u32 | packed bytes).
+// A frame is compressed exactly when that makes it smaller, so the
+// encoding decision is a pure function of the payload and the emitted
+// bytes are deterministic.
+//
+// Framing each shard independently is what makes the save pipeline
+// parallel: workers build and compress frames concurrently while the
+// writer goroutine emits them in canonical shard order, so the output is
+// byte-identical at any worker count and peak memory is bounded by the
+// frames in flight, not the recording. The mirrored reader decodes
+// frames concurrently and applies them in stream order.
+const (
+	recVersionV4 = 4
+
+	frameInitMem    = 1
+	framePI         = 2
+	frameCS         = 3
+	frameSizes      = 4
+	frameIntr       = 5
+	frameIO         = 6
+	frameDMA        = 7
+	frameSlots      = 8
+	frameCheckpoint = 9
+	frameStratified = 10
+	frameEnd        = 11
+
+	encRaw  = 0
+	encLZ77 = 1
+
+	frameHeaderLen = 1 + 4 + 1 + 4 + 4
+
+	// maxFramePayload bounds a frame's declared payload length on load.
+	maxFramePayload = 1 << 31
+)
+
+// frameSpec names one frame of the canonical sequence: its kind, shard
+// index, and a builder that produces the raw (pre-compression) payload.
+type frameSpec struct {
+	kind  uint8
+	shard uint32
+	build func() []byte
+}
+
+// payload is a convenience writer for frame payload construction: a
+// countingWriter over an in-memory buffer never errors.
+type payload struct {
+	countingWriter
+	buf bytes.Buffer
+}
+
+func newPayload() *payload {
+	p := &payload{}
+	p.countingWriter.w = &p.buf
+	return p
+}
+
+func (p *payload) bytes() []byte { return p.buf.Bytes() }
+
+// encodeFrame turns a spec into its wire bytes: build the raw payload,
+// compress it if that is a net win, and prepend the frame header.
+func encodeFrame(s frameSpec) []byte {
+	raw := s.build()
+	enc := uint8(encRaw)
+	body := raw
+	if packed, bits := lz77.Compress(raw); 8+len(packed[:(bits+7)/8]) < len(raw) {
+		enc = encLZ77
+		lz := make([]byte, 8, 8+(bits+7)/8)
+		binary.LittleEndian.PutUint32(lz[0:4], uint32(len(raw)))
+		binary.LittleEndian.PutUint32(lz[4:8], uint32(bits))
+		body = append(lz, packed[:(bits+7)/8]...)
+	}
+	frame := make([]byte, frameHeaderLen, frameHeaderLen+len(body))
+	frame[0] = s.kind
+	binary.LittleEndian.PutUint32(frame[1:5], s.shard)
+	frame[5] = enc
+	binary.LittleEndian.PutUint32(frame[6:10], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[10:14], crc32.ChecksumIEEE(body))
+	return append(frame, body...)
+}
+
+// decodeFramePayload verifies the CRC and undoes the payload encoding.
+func decodeFramePayload(enc uint8, crc uint32, body []byte) ([]byte, error) {
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, corrupt("frame payload CRC mismatch")
+	}
+	switch enc {
+	case encRaw:
+		return body, nil
+	case encLZ77:
+		if len(body) < 8 {
+			return nil, corrupt("LZ77 frame too short for its header")
+		}
+		rawLen := binary.LittleEndian.Uint32(body[0:4])
+		bits := binary.LittleEndian.Uint32(body[4:8])
+		if bits > maxFramePayload || int((bits+7)/8) != len(body)-8 {
+			return nil, corrupt("LZ77 frame bit length %d does not match %d payload bytes", bits, len(body)-8)
+		}
+		raw, err := lz77.Decompress(body[8:], int(bits))
+		if err != nil {
+			return nil, corrupt("LZ77 frame: %v", err)
+		}
+		if len(raw) != int(rawLen) {
+			return nil, corrupt("LZ77 frame decodes to %d bytes, declared %d", len(raw), rawLen)
+		}
+		return raw, nil
+	default:
+		return nil, corrupt("unknown frame encoding %d", enc)
+	}
+}
+
+// frameSpecs enumerates the recording's frames in canonical order. The
+// builders only read the recording, so they are safe to run concurrently.
+func (r *Recording) frameSpecs() []frameSpec {
+	var specs []frameSpec
+	specs = append(specs, frameSpec{kind: frameInitMem, build: func() []byte {
+		p := newPayload()
+		addrs := make([]uint32, 0, len(r.InitialMem))
+		for a := range r.InitialMem {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		p.u32(uint32(len(addrs)))
+		for _, a := range addrs {
+			p.u32(a)
+			p.u64(r.InitialMem[a])
+		}
+		return p.bytes()
+	}})
+	if r.PI != nil {
+		specs = append(specs, frameSpec{kind: framePI, build: func() []byte {
+			p := newPayload()
+			p.u32(uint32(r.PI.Len()))
+			buf, bits := r.PI.Pack()
+			p.packed(buf, bits)
+			return p.bytes()
+		}})
+	}
+	for i := 0; i < r.NProcs; i++ {
+		proc := i
+		specs = append(specs, frameSpec{kind: frameCS, shard: uint32(proc), build: func() []byte {
+			p := newPayload()
+			p.u32(uint32(r.CS[proc].Len()))
+			buf, bits := r.CS[proc].Pack()
+			p.packed(buf, bits)
+			return p.bytes()
+		}})
+	}
+	if r.Mode == OrderSize {
+		for i := 0; i < r.NProcs; i++ {
+			proc := i
+			specs = append(specs, frameSpec{kind: frameSizes, shard: uint32(proc), build: func() []byte {
+				p := newPayload()
+				p.u32(uint32(r.Sizes[proc].Len()))
+				buf, bits := r.Sizes[proc].Pack()
+				p.packed(buf, bits)
+				return p.bytes()
+			}})
+		}
+	}
+	for i := 0; i < r.NProcs; i++ {
+		proc := i
+		specs = append(specs, frameSpec{kind: frameIntr, shard: uint32(proc), build: func() []byte {
+			p := newPayload()
+			p.u32(uint32(r.Intr[proc].Len()))
+			buf, bits := r.Intr[proc].Pack()
+			p.packed(buf, bits)
+			return p.bytes()
+		}})
+	}
+	for i := 0; i < r.NProcs; i++ {
+		proc := i
+		specs = append(specs, frameSpec{kind: frameIO, shard: uint32(proc), build: func() []byte {
+			p := newPayload()
+			vals := r.IO[proc].Values()
+			p.u32(uint32(len(vals)))
+			for _, v := range vals {
+				p.u64(v)
+			}
+			return p.bytes()
+		}})
+	}
+	specs = append(specs, frameSpec{kind: frameDMA, build: func() []byte {
+		p := newPayload()
+		p.u32(uint32(r.DMA.Len()))
+		buf, bits := r.DMA.Pack()
+		p.packed(buf, bits)
+		return p.bytes()
+	}})
+	specs = append(specs, frameSpec{kind: frameSlots, build: func() []byte {
+		p := newPayload()
+		slots := r.Slots.Entries()
+		p.u32(uint32(len(slots)))
+		for _, e := range slots {
+			p.u64(e.Slot)
+			p.u16(uint16(e.Proc))
+		}
+		return p.bytes()
+	}})
+	for i := range r.Checkpoints {
+		idx := i
+		specs = append(specs, frameSpec{kind: frameCheckpoint, shard: uint32(idx), build: func() []byte {
+			p := newPayload()
+			// Frame-level LZ77 replaces v3's inline delta compression, so
+			// the checkpoint body carries its memory delta raw.
+			r.writeCheckpointBody(&p.countingWriter, &r.Checkpoints[idx], false)
+			return p.bytes()
+		}})
+	}
+	if r.Stratified != nil {
+		specs = append(specs, frameSpec{kind: frameStratified, build: func() []byte {
+			p := newPayload()
+			p.u32(uint32(r.Stratified.Len()))
+			p.u16(uint16(1)<<uint(r.Stratified.CounterBits()) - 1)
+			for _, row := range r.Stratified.Strata() {
+				for _, v := range row {
+					p.u16(uint16(v))
+				}
+			}
+			return p.bytes()
+		}})
+	}
+	specs = append(specs, frameSpec{kind: frameEnd, build: func() []byte { return nil }})
+	return specs
+}
+
+// WriteToParallel serializes the recording in the v4 format, compressing
+// frames on up to workers goroutines (0 sizes the pool to the host, 1
+// runs fully inline). Output bytes are identical at any worker count;
+// only wall-clock and peak memory differ.
+func (r *Recording) WriteToParallel(w io.Writer, workers int) (int64, error) {
+	bw := bufio.NewWriter(w)
+	c := &countingWriter{w: bw}
+
+	c.write([]byte(recMagic))
+	c.u16(recVersionV4)
+	c.u8(uint8(r.Mode))
+	c.u16(uint16(r.NProcs))
+	c.u32(uint32(r.ChunkSize))
+	c.u64(r.Fingerprint)
+	c.u64(r.FinalMemHash)
+	for p := 0; p < r.NProcs; p++ {
+		var ch uint64
+		if p < len(r.ProcChains) {
+			ch = r.ProcChains[p]
+		}
+		c.u64(ch)
+	}
+	c.u64(r.Stats.Insts)
+	c.u64(r.Stats.Chunks)
+	c.u64(r.Stats.Cycles)
+
+	specs := r.frameSpecs()
+	nw := runner.Workers(workers)
+	if workers == 1 || nw == 1 || len(specs) <= 1 {
+		// Inline: one frame in memory at a time.
+		for _, s := range specs {
+			c.write(encodeFrame(s))
+			if c.err != nil {
+				break
+			}
+		}
+	} else {
+		// Bounded ordered pipeline: workers encode frames concurrently,
+		// the semaphore caps frames in flight, and emission follows spec
+		// order so the stream is deterministic.
+		futures := make(chan chan []byte, nw)
+		go func() {
+			sem := make(chan struct{}, nw)
+			for _, s := range specs {
+				ch := make(chan []byte, 1)
+				futures <- ch
+				sem <- struct{}{}
+				go func(s frameSpec, ch chan<- []byte) {
+					defer func() { <-sem }()
+					ch <- encodeFrame(s)
+				}(s, ch)
+			}
+			close(futures)
+		}()
+		for ch := range futures {
+			frame := <-ch
+			c.write(frame)
+		}
+	}
+
+	if c.err == nil {
+		c.err = bw.Flush()
+	}
+	return c.n, c.err
+}
+
+// rawFrame is one frame as read off the wire, before payload decoding.
+type rawFrame struct {
+	kind  uint8
+	shard uint32
+	enc   uint8
+	crc   uint32
+	body  []byte
+}
+
+// readFrame reads the next frame. The payload is read in bounded chunks
+// so a lying length cannot demand an absurd up-front allocation.
+func readFrame(d *reader) (rawFrame, error) {
+	var f rawFrame
+	f.kind = d.u8()
+	f.shard = d.u32()
+	f.enc = d.u8()
+	n := d.u32()
+	f.crc = d.u32()
+	if d.err != nil {
+		return f, corrupt("truncated frame header: %v", d.err)
+	}
+	if n > maxFramePayload {
+		return f, corrupt("frame claims %d payload bytes", n)
+	}
+	const chunk = 1 << 20
+	remaining := int(n)
+	f.body = make([]byte, 0, min(remaining, chunk))
+	for remaining > 0 {
+		step := min(remaining, chunk)
+		start := len(f.body)
+		f.body = append(f.body, make([]byte, step)...)
+		d.read(f.body[start:])
+		if d.err != nil {
+			return f, corrupt("truncated frame payload: %v", d.err)
+		}
+		remaining -= step
+	}
+	return f, nil
+}
+
+// applyFrame decodes one frame's payload into the recording. Frames must
+// arrive in canonical order: per-kind shard indices are contiguous, which
+// also rejects duplicates.
+func (r *Recording) applyFrame(f rawFrame, seen *frameProgress) error {
+	raw, err := decodeFramePayload(f.enc, f.crc, f.body)
+	if err != nil {
+		return err
+	}
+	d := &reader{r: bytes.NewReader(raw)}
+	switch f.kind {
+	case frameInitMem:
+		if f.shard != 0 {
+			return corrupt("initial-memory frame with shard %d", f.shard)
+		}
+		if seen.initMem {
+			return corrupt("duplicate initial-memory frame")
+		}
+		seen.initMem = true
+		n := d.u32()
+		r.InitialMem = make(map[uint32]uint64, allocHint(n))
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			a := d.u32()
+			r.InitialMem[a] = d.u64()
+		}
+	case framePI:
+		if f.shard != 0 {
+			return corrupt("PI frame with shard %d", f.shard)
+		}
+		if r.PI != nil {
+			return corrupt("duplicate PI frame")
+		}
+		entries := int(d.u32())
+		buf, bits := d.packed()
+		if d.err == nil {
+			pi, err := dlog.UnpackPILog(r.NProcs, buf, bits, entries)
+			if err != nil {
+				return corrupt("PI log: %v", err)
+			}
+			r.PI = pi
+		}
+	case frameCS:
+		if int(f.shard) != len(r.CS) || len(r.CS) >= r.NProcs {
+			return corrupt("CS frame for shard %d arrived with %d decoded", f.shard, len(r.CS))
+		}
+		_ = d.u32() // entry count (implied by the packed stream)
+		buf, bits := d.packed()
+		if d.err == nil {
+			cs, err := dlog.UnpackCSLog(r.ChunkSize, buf, bits)
+			if err != nil {
+				return corrupt("CS log %d: %v", f.shard, err)
+			}
+			r.CS = append(r.CS, cs)
+		}
+	case frameSizes:
+		if r.Mode != OrderSize {
+			return corrupt("size-log frame in mode %d", int(r.Mode))
+		}
+		if int(f.shard) != len(r.Sizes) || len(r.Sizes) >= r.NProcs {
+			return corrupt("size frame for shard %d arrived with %d decoded", f.shard, len(r.Sizes))
+		}
+		count := int(d.u32())
+		buf, bits := d.packed()
+		if d.err == nil {
+			sl, err := dlog.UnpackSizeLog(r.ChunkSize, buf, bits, count)
+			if err != nil {
+				return corrupt("size log %d: %v", f.shard, err)
+			}
+			r.Sizes = append(r.Sizes, sl)
+		}
+	case frameIntr:
+		if int(f.shard) != len(r.Intr) || len(r.Intr) >= r.NProcs {
+			return corrupt("interrupt frame for shard %d arrived with %d decoded", f.shard, len(r.Intr))
+		}
+		count := int(d.u32())
+		buf, bits := d.packed()
+		if d.err == nil {
+			il, err := dlog.UnpackIntrLog(buf, bits, count)
+			if err != nil {
+				return corrupt("interrupt log %d: %v", f.shard, err)
+			}
+			r.Intr = append(r.Intr, il)
+		}
+	case frameIO:
+		if int(f.shard) != len(r.IO) || len(r.IO) >= r.NProcs {
+			return corrupt("IO frame for shard %d arrived with %d decoded", f.shard, len(r.IO))
+		}
+		count := int(d.u32())
+		il := &dlog.IOLog{}
+		for i := 0; i < count && d.err == nil; i++ {
+			il.Append(d.u64())
+		}
+		if d.err == nil {
+			r.IO = append(r.IO, il)
+		}
+	case frameDMA:
+		if f.shard != 0 {
+			return corrupt("DMA frame with shard %d", f.shard)
+		}
+		if seen.dma {
+			return corrupt("duplicate DMA frame")
+		}
+		seen.dma = true
+		count := int(d.u32())
+		buf, bits := d.packed()
+		if d.err == nil {
+			dl, err := dlog.UnpackDMALog(buf, bits, count)
+			if err != nil {
+				return corrupt("DMA log: %v", err)
+			}
+			r.DMA = dl
+		}
+	case frameSlots:
+		if f.shard != 0 {
+			return corrupt("slot frame with shard %d", f.shard)
+		}
+		if seen.slots {
+			return corrupt("duplicate slot frame")
+		}
+		seen.slots = true
+		count := int(d.u32())
+		var prev uint64
+		for i := 0; i < count && d.err == nil; i++ {
+			slot := d.u64()
+			proc := int(d.u16())
+			if d.err != nil {
+				break
+			}
+			if i > 0 && slot <= prev {
+				return corrupt("slot entries out of order at %d", i)
+			}
+			if proc < 0 || proc >= r.NProcs {
+				return corrupt("slot entry %d names processor %d of %d", i, proc, r.NProcs)
+			}
+			prev = slot
+			r.Slots.Append(dlog.SlotEntry{Slot: slot, Proc: proc})
+		}
+	case frameCheckpoint:
+		if int(f.shard) != len(r.Checkpoints) {
+			return corrupt("checkpoint frame for shard %d arrived with %d decoded", f.shard, len(r.Checkpoints))
+		}
+		cp, err := r.readCheckpointBody(d, int(f.shard), false)
+		if err != nil {
+			return err
+		}
+		if d.err == nil {
+			r.Checkpoints = append(r.Checkpoints, cp)
+		}
+	case frameStratified:
+		if f.shard != 0 {
+			return corrupt("stratified frame with shard %d", f.shard)
+		}
+		if r.Stratified != nil {
+			return corrupt("duplicate stratified frame")
+		}
+		strata := d.u32()
+		maxChunk := int(d.u16())
+		if d.err == nil && maxChunk < 1 {
+			return corrupt("stratified log with max %d chunks per stratum", maxChunk)
+		}
+		rows := make([][]int, 0, allocHint(strata))
+		for i := uint32(0); i < strata && d.err == nil; i++ {
+			row := make([]int, r.NProcs+1)
+			for j := range row {
+				row[j] = int(d.u16())
+			}
+			if d.err == nil {
+				rows = append(rows, row)
+			}
+		}
+		if d.err == nil {
+			r.Stratified = rebuildStratified(r.NProcs, maxChunk, rows)
+		}
+	default:
+		return corrupt("unknown frame kind %d", f.kind)
+	}
+	if d.err != nil {
+		return corrupt("frame kind %d shard %d truncated: %v", f.kind, f.shard, d.err)
+	}
+	return nil
+}
+
+// validateEndFrame checks the terminator: shard 0, a CRC-clean empty
+// payload. Validating it keeps every byte of the stream covered by
+// either a checked header field or a checksum.
+func validateEndFrame(f rawFrame) error {
+	if f.shard != 0 {
+		return corrupt("end frame with shard %d", f.shard)
+	}
+	raw, err := decodeFramePayload(f.enc, f.crc, f.body)
+	if err != nil {
+		return err
+	}
+	if len(raw) != 0 {
+		return corrupt("end frame carries %d payload bytes", len(raw))
+	}
+	return nil
+}
+
+// frameProgress tracks which singleton frames have been decoded.
+type frameProgress struct {
+	initMem bool
+	dma     bool
+	slots   bool
+}
+
+// finishV4 validates section completeness once the end frame arrives.
+func (r *Recording) finishV4(seen *frameProgress) error {
+	if !seen.initMem {
+		return corrupt("recording has no initial-memory frame")
+	}
+	if !seen.dma {
+		return corrupt("recording has no DMA frame")
+	}
+	if !seen.slots {
+		return corrupt("recording has no slot frame")
+	}
+	if len(r.CS) != r.NProcs {
+		return corrupt("recording has %d CS logs for %d processors", len(r.CS), r.NProcs)
+	}
+	if r.Mode == OrderSize && len(r.Sizes) != r.NProcs {
+		return corrupt("recording has %d size logs for %d processors", len(r.Sizes), r.NProcs)
+	}
+	if len(r.Intr) != r.NProcs || len(r.IO) != r.NProcs {
+		return corrupt("recording has %d interrupt and %d IO logs for %d processors",
+			len(r.Intr), len(r.IO), r.NProcs)
+	}
+	return nil
+}
+
+// readV4 consumes the v4 frame sequence from d. workers sizes the decode
+// pool (0: host default, 1: fully sequential). Frames are decoded
+// concurrently but applied in stream order, so error reporting and the
+// resulting recording are deterministic.
+func (r *Recording) readV4(d *reader, workers int) error {
+	seen := &frameProgress{}
+	nw := runner.Workers(workers)
+	if workers == 1 || nw == 1 {
+		for {
+			f, err := readFrame(d)
+			if err != nil {
+				return err
+			}
+			if f.kind == frameEnd {
+				if err := validateEndFrame(f); err != nil {
+					return err
+				}
+				break
+			}
+			if err := r.applyFrame(f, seen); err != nil {
+				return err
+			}
+		}
+		return r.finishV4(seen)
+	}
+
+	// Parallel decode mirrors the parallel encode: a reader goroutine
+	// frames the stream and hands payload decoding to the pool; the
+	// consumer applies decoded frames in order. decodeFramePayload does
+	// the CPU-heavy work (CRC + LZ77); applyFrame's unpacking is cheap
+	// and keeps recording mutation single-threaded.
+	type decoded struct {
+		frame rawFrame
+		raw   []byte
+		err   error
+	}
+	futures := make(chan chan decoded, nw)
+	go func() {
+		sem := make(chan struct{}, nw)
+		for {
+			f, err := readFrame(d)
+			ch := make(chan decoded, 1)
+			futures <- ch
+			if err != nil || f.kind == frameEnd {
+				ch <- decoded{frame: f, err: err}
+				break
+			}
+			sem <- struct{}{}
+			go func(f rawFrame, ch chan<- decoded) {
+				defer func() { <-sem }()
+				raw, err := decodeFramePayload(f.enc, f.crc, f.body)
+				ch <- decoded{frame: f, raw: raw, err: err}
+			}(f, ch)
+		}
+		close(futures)
+	}()
+
+	var firstErr error
+	done := false
+	for ch := range futures {
+		dec := <-ch
+		if firstErr != nil || done {
+			continue // drain so the reader goroutine can exit
+		}
+		if dec.err != nil {
+			firstErr = dec.err
+			continue
+		}
+		if dec.frame.kind == frameEnd {
+			if err := validateEndFrame(dec.frame); err != nil {
+				firstErr = err
+			} else {
+				done = true
+			}
+			continue
+		}
+		// The payload is already decoded; re-wrap it so applyFrame's CRC
+		// check is a no-op recompute on the raw bytes.
+		f := dec.frame
+		f.enc = encRaw
+		f.body = dec.raw
+		f.crc = crc32.ChecksumIEEE(dec.raw)
+		if err := r.applyFrame(f, seen); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if !done {
+		return corrupt("recording has no end frame")
+	}
+	return r.finishV4(seen)
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"delorean/internal/device"
+	"delorean/internal/isa"
+	"delorean/internal/rng"
+	"delorean/internal/sim"
+)
+
+// fullFatV4Recording records with every optional container section
+// populated — PI log, all per-proc logs, interrupts, I/O, DMA, slots,
+// checkpoints, and the stratified log — so the frame sequence exercises
+// every frame kind.
+func fullFatV4Recording(t *testing.T, mode Mode) (*Recording, sim.Config, []*isa.Program) {
+	t.Helper()
+	cfg := testConfig(4, 250)
+	prog4 := replicateProgs(systemProgram(120), 4)
+	devs := device.New(42)
+	devs.GenerateInterrupts(rng.New(1), 4, 4_000, 2_000_000, 0.3)
+	devs.GenerateDMA(rng.New(2), 0x900, 4, 8, 6_000, 2_000_000)
+	rec, _ := record(t, cfg, mode, prog4, devs, RecordOptions{
+		CheckpointEvery: 25,
+		StratifyMax:     3,
+	})
+	return rec, cfg, prog4
+}
+
+// TestWriteToParallelByteIdentity: the v4 stream must be byte-identical
+// at every worker count — parallel compression may only change wall
+// clock, never the artifact.
+func TestWriteToParallelByteIdentity(t *testing.T) {
+	for _, mode := range []Mode{OrderSize, OrderOnly, PicoLog} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rec, _, _ := fullFatV4Recording(t, mode)
+			var ref bytes.Buffer
+			if _, err := rec.WriteTo(&ref); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			for _, workers := range []int{1, 2, 3, 8} {
+				var buf bytes.Buffer
+				n, err := rec.WriteToParallel(&buf, workers)
+				if err != nil {
+					t.Fatalf("WriteToParallel(%d): %v", workers, err)
+				}
+				if n != int64(buf.Len()) {
+					t.Fatalf("WriteToParallel(%d) reported %d bytes, wrote %d", workers, n, buf.Len())
+				}
+				if !bytes.Equal(ref.Bytes(), buf.Bytes()) {
+					t.Fatalf("WriteToParallel(%d) bytes differ from WriteTo (%d vs %d bytes)",
+						workers, buf.Len(), ref.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestReadRecordingParallelMatchesSequential: parallel frame decoding
+// must reconstruct the same recording as the sequential path. Equality
+// is checked by re-serializing, which covers every section.
+func TestReadRecordingParallelMatchesSequential(t *testing.T) {
+	rec, _, _ := fullFatV4Recording(t, OrderOnly)
+	var wire bytes.Buffer
+	if _, err := rec.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		got, err := ReadRecordingParallel(bytes.NewReader(wire.Bytes()), workers)
+		if err != nil {
+			t.Fatalf("ReadRecordingParallel(%d): %v", workers, err)
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteToParallel(&out, 1); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = out.Bytes()
+		} else if !bytes.Equal(ref, out.Bytes()) {
+			t.Fatalf("recording loaded with %d workers re-serializes differently", workers)
+		}
+		if !bytes.Equal(wire.Bytes(), out.Bytes()) {
+			t.Fatalf("round trip with %d decode workers is not byte-stable", workers)
+		}
+	}
+}
+
+// TestV3WriteStillRoundTrips: the legacy writer's output must load and
+// describe the same recording as the v4 stream (checked by re-encoding
+// the loaded recording as v4 and comparing against the original's v4
+// bytes).
+func TestV3WriteStillRoundTrips(t *testing.T) {
+	for _, mode := range []Mode{OrderSize, OrderOnly, PicoLog} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rec, _, _ := fullFatV4Recording(t, mode)
+			var v4 bytes.Buffer
+			if _, err := rec.WriteTo(&v4); err != nil {
+				t.Fatal(err)
+			}
+			var v3 bytes.Buffer
+			if _, err := rec.WriteToV3(&v3); err != nil {
+				t.Fatalf("WriteToV3: %v", err)
+			}
+			if bytes.Equal(v3.Bytes(), v4.Bytes()) {
+				t.Fatal("v3 and v4 streams are identical; version switch is not wired")
+			}
+			got, err := ReadRecording(bytes.NewReader(v3.Bytes()))
+			if err != nil {
+				t.Fatalf("loading v3 stream: %v", err)
+			}
+			var re bytes.Buffer
+			if _, err := got.WriteTo(&re); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re.Bytes(), v4.Bytes()) {
+				t.Fatal("recording loaded from v3 re-encodes to different v4 bytes")
+			}
+		})
+	}
+}
+
+// v4CommonHeaderLen returns the byte offset where the frame sequence
+// starts: magic, version, mode, nprocs, chunk size, fingerprints, chain
+// digests, and stats words.
+func v4CommonHeaderLen(nprocs int) int {
+	return 4 + 2 + 1 + 2 + 4 + 8 + 8 + nprocs*8 + 24
+}
+
+// TestV4RejectsCorruptFrames: every byte of the frame section is covered
+// by either a validated header field or the payload CRC, so any single
+// bit flip after the common header must surface as ErrCorruptLog — never
+// a panic, never a silently different recording.
+func TestV4RejectsCorruptFrames(t *testing.T) {
+	rec, _, _ := fullFatV4Recording(t, OrderOnly)
+	var wire bytes.Buffer
+	if _, err := rec.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	full := wire.Bytes()
+	start := v4CommonHeaderLen(rec.NProcs)
+	stride := len(full) / 200
+	if stride < 1 {
+		stride = 1
+	}
+	for off := start; off < len(full); off += stride {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x40
+		got, err := ReadRecording(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip at offset %d accepted (recording %v)", off, got.Mode)
+		}
+		if !errors.Is(err, ErrCorruptLog) {
+			t.Fatalf("flip at offset %d: error %v is not ErrCorruptLog", off, err)
+		}
+	}
+}
+
+// TestV4RejectsTruncation: every proper prefix of a v4 stream must be
+// rejected as corrupt, in both the sequential and parallel readers.
+func TestV4RejectsTruncation(t *testing.T) {
+	rec, _, _ := fullFatV4Recording(t, PicoLog)
+	var wire bytes.Buffer
+	if _, err := rec.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	full := wire.Bytes()
+	stride := len(full) / 150
+	if stride < 1 {
+		stride = 1
+	}
+	for _, workers := range []int{1, 4} {
+		for cut := 0; cut < len(full); cut += stride {
+			_, err := ReadRecordingParallel(bytes.NewReader(full[:cut]), workers)
+			if err == nil {
+				t.Fatalf("truncation at %d of %d accepted (workers=%d)", cut, len(full), workers)
+			}
+			if !errors.Is(err, ErrCorruptLog) {
+				t.Fatalf("truncation at %d (workers=%d): error %v is not ErrCorruptLog", cut, workers, err)
+			}
+		}
+		// The last byte matters too.
+		if _, err := ReadRecordingParallel(bytes.NewReader(full[:len(full)-1]), workers); err == nil {
+			t.Fatalf("dropping the final byte accepted (workers=%d)", workers)
+		}
+	}
+}
+
+// TestV4ParallelLoadSurfacesCorruption: the concurrent decode path must
+// report a CRC failure deterministically even when later frames decode
+// fine.
+func TestV4ParallelLoadSurfacesCorruption(t *testing.T) {
+	rec, _, _ := fullFatV4Recording(t, OrderOnly)
+	var wire bytes.Buffer
+	if _, err := rec.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), wire.Bytes()...)
+	// Corrupt a byte deep in the stream so several frames precede it.
+	off := v4CommonHeaderLen(rec.NProcs) + (len(full)-v4CommonHeaderLen(rec.NProcs))/2
+	full[off] ^= 0xFF
+	for i := 0; i < 5; i++ {
+		_, err := ReadRecordingParallel(bytes.NewReader(full), 8)
+		if err == nil {
+			t.Fatal("corrupted stream accepted by parallel reader")
+		}
+		if !errors.Is(err, ErrCorruptLog) {
+			t.Fatalf("parallel reader error %v is not ErrCorruptLog", err)
+		}
+	}
+}

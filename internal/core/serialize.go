@@ -41,8 +41,11 @@ func rebuildStratified(nprocs, maxChunk int, rows [][]int) *stratifier.Stratifie
 //
 // Version history: v1 had no per-processor chain digests; v2 added them
 // for replay divergence localization; v3 appended the delta-encoded
-// checkpoint section so serialized recordings replay segmented. v2
-// files still load (with no checkpoints).
+// checkpoint section so serialized recordings replay segmented. v4
+// (framev4.go) keeps the v3 header through the stats words but frames
+// every log shard independently (CRC-checked, individually compressed
+// frames) so save and load pipeline across workers. WriteTo emits v4;
+// WriteToV3 keeps the legacy layout, and v2/v3/v4 files all load.
 const (
 	recMagic   = "DLRN"
 	recVersion = 3
@@ -90,8 +93,17 @@ func (c *countingWriter) packed(buf []byte, bits int) {
 	c.write(buf[:(bits+7)/8])
 }
 
-// WriteTo serializes the recording. It implements io.WriterTo.
+// WriteTo serializes the recording in the current (v4) format. It
+// implements io.WriterTo. Equivalent to WriteToParallel with the
+// host-default worker count; output bytes are identical either way.
 func (r *Recording) WriteTo(w io.Writer) (int64, error) {
+	return r.WriteToParallel(w, 0)
+}
+
+// WriteToV3 serializes the recording in the legacy v3 layout, kept so
+// compatibility tests can regenerate v3 fixtures and older readers stay
+// servable.
+func (r *Recording) WriteToV3(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	c := &countingWriter{w: bw}
 
@@ -213,81 +225,92 @@ const (
 func (r *Recording) writeCheckpoints(c *countingWriter) {
 	c.u32(uint32(len(r.Checkpoints)))
 	for i := range r.Checkpoints {
-		cp := &r.Checkpoints[i]
-		c.u64(cp.Slot)
-		c.u16(uint16(cp.TokenAt + 1)) // -1 (unordered) encodes as 0
-		c.u64(cp.Fingerprint)
-		c.u64(cp.IntervalFingerprint)
-		writeChains := func(chains []uint64) {
-			if len(chains) == r.NProcs {
-				c.u8(1)
-				for _, ch := range chains {
-					c.u64(ch)
-				}
-			} else {
-				c.u8(0)
-			}
-		}
-		writeChains(cp.ProcChains)
-		writeChains(cp.IntervalChains)
+		r.writeCheckpointBody(c, &r.Checkpoints[i], true)
+	}
+}
 
-		for p := range cp.Procs {
-			pc := &cp.Procs[p]
-			var flags uint8
-			if pc.State.Halted {
-				flags |= cpHalted
+// writeCheckpointBody serializes one checkpoint. compressDelta selects
+// v3's inline LZ77 for the memory-delta pair stream; the v4 frame writer
+// passes false because the whole frame is compressed as one unit.
+func (r *Recording) writeCheckpointBody(c *countingWriter, cp *IntervalCheckpoint, compressDelta bool) {
+	c.u64(cp.Slot)
+	c.u16(uint16(cp.TokenAt + 1)) // -1 (unordered) encodes as 0
+	c.u64(cp.Fingerprint)
+	c.u64(cp.IntervalFingerprint)
+	writeChains := func(chains []uint64) {
+		if len(chains) == r.NProcs {
+			c.u8(1)
+			for _, ch := range chains {
+				c.u64(ch)
 			}
-			if pc.State.InIntr {
-				flags |= cpInIntr
-			}
-			if pc.State.IntrUrgent {
-				flags |= cpIntrUrgent
-			}
-			if pc.Done {
-				flags |= cpDone
-			}
-			if pc.PendingIntr != nil {
-				flags |= cpPendingIntr
-				if pc.PendingIntr.Urgent {
-					flags |= cpPendUrgent
-				}
-			}
-			c.u8(flags)
-			c.u64(uint64(pc.State.PC))
-			for _, v := range pc.State.Reg {
-				c.u64(uint64(v))
-			}
-			c.u64(uint64(pc.State.IntrPC))
-			for _, v := range pc.State.IntrReg {
-				c.u64(uint64(v))
-			}
-			c.u64(pc.NextSeq)
-			c.u32(uint32(pc.IOConsumed))
-			if pc.PendingIntr != nil {
-				c.u64(pc.PendingIntr.Seq)
-				c.u64(uint64(pc.PendingIntr.Type))
-				c.u64(uint64(pc.PendingIntr.Data))
-			}
+		} else {
+			c.u8(0)
 		}
+	}
+	writeChains(cp.ProcChains)
+	writeChains(cp.IntervalChains)
 
-		// Memory delta: canonical address order, then LZ77. Interval
-		// write footprints revisit the same working set, so the pair
-		// stream compresses well.
-		addrs := make([]uint32, 0, len(cp.MemDelta))
-		for a := range cp.MemDelta {
-			addrs = append(addrs, a)
+	for p := range cp.Procs {
+		pc := &cp.Procs[p]
+		var flags uint8
+		if pc.State.Halted {
+			flags |= cpHalted
 		}
-		sort.Slice(addrs, func(x, y int) bool { return addrs[x] < addrs[y] })
-		raw := make([]byte, 0, 12*len(addrs))
-		var pair [12]byte
-		for _, a := range addrs {
-			binary.LittleEndian.PutUint32(pair[0:4], a)
-			binary.LittleEndian.PutUint64(pair[4:12], cp.MemDelta[a])
-			raw = append(raw, pair[:]...)
+		if pc.State.InIntr {
+			flags |= cpInIntr
 		}
-		c.u32(uint32(len(addrs)))
+		if pc.State.IntrUrgent {
+			flags |= cpIntrUrgent
+		}
+		if pc.Done {
+			flags |= cpDone
+		}
+		if pc.PendingIntr != nil {
+			flags |= cpPendingIntr
+			if pc.PendingIntr.Urgent {
+				flags |= cpPendUrgent
+			}
+		}
+		c.u8(flags)
+		c.u64(uint64(pc.State.PC))
+		for _, v := range pc.State.Reg {
+			c.u64(uint64(v))
+		}
+		c.u64(uint64(pc.State.IntrPC))
+		for _, v := range pc.State.IntrReg {
+			c.u64(uint64(v))
+		}
+		c.u64(pc.NextSeq)
+		c.u32(uint32(pc.IOConsumed))
+		if pc.PendingIntr != nil {
+			c.u64(pc.PendingIntr.Seq)
+			c.u64(uint64(pc.PendingIntr.Type))
+			c.u64(uint64(pc.PendingIntr.Data))
+		}
+	}
+
+	// Memory delta: canonical address order. Interval write
+	// footprints revisit the same working set, so the pair stream
+	// compresses well under LZ77 (inline for v3, frame-level for v4).
+	addrs := make([]uint32, 0, len(cp.MemDelta))
+	for a := range cp.MemDelta {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(x, y int) bool { return addrs[x] < addrs[y] })
+	raw := make([]byte, 0, 12*len(addrs))
+	var pair [12]byte
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint32(pair[0:4], a)
+		binary.LittleEndian.PutUint64(pair[4:12], cp.MemDelta[a])
+		raw = append(raw, pair[:]...)
+	}
+	c.u32(uint32(len(addrs)))
+	if compressDelta {
 		packed, bits := lz77.Compress(raw)
 		c.packed(packed, bits)
+	} else {
+		c.u32(uint32(len(raw)))
+		c.write(raw)
 	}
 }
 
@@ -296,76 +319,117 @@ func (r *Recording) readCheckpoints(d *reader) error {
 	count := d.u32()
 	r.Checkpoints = make([]IntervalCheckpoint, 0, allocHint(count))
 	for i := uint32(0); i < count && d.err == nil; i++ {
-		var cp IntervalCheckpoint
-		cp.Slot = d.u64()
-		cp.TokenAt = int(d.u16()) - 1
-		cp.Fingerprint = d.u64()
-		cp.IntervalFingerprint = d.u64()
-		readChains := func() []uint64 {
-			if d.u8() != 1 {
-				return nil
-			}
-			chains := make([]uint64, r.NProcs)
-			for p := range chains {
-				chains[p] = d.u64()
-			}
-			return chains
-		}
-		cp.ProcChains = readChains()
-		cp.IntervalChains = readChains()
-
-		for p := 0; p < r.NProcs && d.err == nil; p++ {
-			var pc bulksc.ProcCheckpoint
-			flags := d.u8()
-			pc.State.Halted = flags&cpHalted != 0
-			pc.State.InIntr = flags&cpInIntr != 0
-			pc.State.IntrUrgent = flags&cpIntrUrgent != 0
-			pc.Done = flags&cpDone != 0
-			pc.State.PC = int(d.u64())
-			for k := range pc.State.Reg {
-				pc.State.Reg[k] = int64(d.u64())
-			}
-			pc.State.IntrPC = int(d.u64())
-			for k := range pc.State.IntrReg {
-				pc.State.IntrReg[k] = int64(d.u64())
-			}
-			pc.NextSeq = d.u64()
-			pc.IOConsumed = int(d.u32())
-			if d.err == nil && (pc.State.PC < 0 || pc.State.PC > 1<<31 ||
-				pc.State.IntrPC < 0 || pc.State.IntrPC > 1<<31 || pc.IOConsumed < 0) {
-				return corrupt("checkpoint %d proc %d has implausible resume state", i, p)
-			}
-			if flags&cpPendingIntr != 0 {
-				pc.PendingIntr = &bulksc.PendingIntr{
-					Seq:    d.u64(),
-					Type:   int64(d.u64()),
-					Data:   int64(d.u64()),
-					Urgent: flags&cpPendUrgent != 0,
-				}
-			}
-			cp.Procs = append(cp.Procs, pc)
-		}
-
-		words := d.u32()
-		packed, bits := d.packed()
-		if d.err != nil {
-			break
-		}
-		raw, err := lz77.Decompress(packed, bits)
+		cp, err := r.readCheckpointBody(d, int(i), true)
 		if err != nil {
-			return corrupt("checkpoint %d memory delta: %v", i, err)
+			return err
 		}
-		if len(raw) != 12*int(words) {
-			return corrupt("checkpoint %d memory delta holds %d bytes for %d words", i, len(raw), words)
+		if d.err == nil {
+			r.Checkpoints = append(r.Checkpoints, cp)
 		}
-		cp.MemDelta = make(map[uint32]uint64, allocHint(words))
-		for off := 0; off+12 <= len(raw); off += 12 {
-			a := binary.LittleEndian.Uint32(raw[off : off+4])
-			cp.MemDelta[a] = binary.LittleEndian.Uint64(raw[off+4 : off+12])
-		}
-		r.Checkpoints = append(r.Checkpoints, cp)
 	}
 	return nil
+}
+
+// readCheckpointBody parses one checkpoint, mirroring writeCheckpointBody.
+// compressDelta selects v3's inline LZ77 memory-delta encoding; v4 frames
+// pass false and carry the delta as raw bytes (the frame codec compresses
+// the whole payload).
+func (r *Recording) readCheckpointBody(d *reader, i int, compressDelta bool) (IntervalCheckpoint, error) {
+	var cp IntervalCheckpoint
+	cp.Slot = d.u64()
+	cp.TokenAt = int(d.u16()) - 1
+	cp.Fingerprint = d.u64()
+	cp.IntervalFingerprint = d.u64()
+	readChains := func() []uint64 {
+		if d.u8() != 1 {
+			return nil
+		}
+		chains := make([]uint64, r.NProcs)
+		for p := range chains {
+			chains[p] = d.u64()
+		}
+		return chains
+	}
+	cp.ProcChains = readChains()
+	cp.IntervalChains = readChains()
+
+	for p := 0; p < r.NProcs && d.err == nil; p++ {
+		var pc bulksc.ProcCheckpoint
+		flags := d.u8()
+		pc.State.Halted = flags&cpHalted != 0
+		pc.State.InIntr = flags&cpInIntr != 0
+		pc.State.IntrUrgent = flags&cpIntrUrgent != 0
+		pc.Done = flags&cpDone != 0
+		pc.State.PC = int(d.u64())
+		for k := range pc.State.Reg {
+			pc.State.Reg[k] = int64(d.u64())
+		}
+		pc.State.IntrPC = int(d.u64())
+		for k := range pc.State.IntrReg {
+			pc.State.IntrReg[k] = int64(d.u64())
+		}
+		pc.NextSeq = d.u64()
+		pc.IOConsumed = int(d.u32())
+		if d.err == nil && (pc.State.PC < 0 || pc.State.PC > 1<<31 ||
+			pc.State.IntrPC < 0 || pc.State.IntrPC > 1<<31 || pc.IOConsumed < 0) {
+			return cp, corrupt("checkpoint %d proc %d has implausible resume state", i, p)
+		}
+		if flags&cpPendingIntr != 0 {
+			pc.PendingIntr = &bulksc.PendingIntr{
+				Seq:    d.u64(),
+				Type:   int64(d.u64()),
+				Data:   int64(d.u64()),
+				Urgent: flags&cpPendUrgent != 0,
+			}
+		}
+		cp.Procs = append(cp.Procs, pc)
+	}
+
+	words := d.u32()
+	var raw []byte
+	if compressDelta {
+		packed, bits := d.packed()
+		if d.err != nil {
+			return cp, nil
+		}
+		var err error
+		raw, err = lz77.Decompress(packed, bits)
+		if err != nil {
+			return cp, corrupt("checkpoint %d memory delta: %v", i, err)
+		}
+	} else {
+		rawLen := d.u32()
+		if d.err != nil {
+			return cp, nil
+		}
+		if rawLen > maxFramePayload {
+			return cp, corrupt("checkpoint %d memory delta claims %d bytes", i, rawLen)
+		}
+		// Chunked read: a lying length costs at most one chunk of
+		// allocation before the underlying reader runs dry.
+		raw = make([]byte, 0, 12*allocHint(words))
+		for len(raw) < int(rawLen) && d.err == nil {
+			n := int(rawLen) - len(raw)
+			if n > 1<<20 {
+				n = 1 << 20
+			}
+			chunk := make([]byte, n)
+			d.read(chunk)
+			if d.err != nil {
+				return cp, nil
+			}
+			raw = append(raw, chunk...)
+		}
+	}
+	if len(raw) != 12*int(words) {
+		return cp, corrupt("checkpoint %d memory delta holds %d bytes for %d words", i, len(raw), words)
+	}
+	cp.MemDelta = make(map[uint32]uint64, allocHint(words))
+	for off := 0; off+12 <= len(raw); off += 12 {
+		a := binary.LittleEndian.Uint32(raw[off : off+4])
+		cp.MemDelta[a] = binary.LittleEndian.Uint64(raw[off+4 : off+12])
+	}
+	return cp, nil
 }
 
 type reader struct {
@@ -409,10 +473,19 @@ func allocHint(n uint32) int {
 	return int(n)
 }
 
-// ReadRecording deserializes a recording written by WriteTo. Malformed
-// input — bad magic, truncated stream, implausible lengths, or log
-// contents that fail Validate — returns an error wrapping ErrCorruptLog.
+// ReadRecording deserializes a recording written by WriteTo (any
+// supported version: v2, v3, or v4). Malformed input — bad magic,
+// truncated stream, implausible lengths, or log contents that fail
+// Validate — returns an error wrapping ErrCorruptLog.
 func ReadRecording(src io.Reader) (*Recording, error) {
+	return ReadRecordingParallel(src, 0)
+}
+
+// ReadRecordingParallel is ReadRecording with an explicit decode worker
+// count for v4 recordings (0: host default, 1: fully sequential; v2/v3
+// always decode sequentially). The resulting recording is identical at
+// any worker count.
+func ReadRecordingParallel(src io.Reader, workers int) (*Recording, error) {
 	d := &reader{r: bufio.NewReader(src)}
 
 	var magic [4]byte
@@ -424,7 +497,7 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 		return nil, corrupt("not a DeLorean recording (magic %q)", magic)
 	}
 	version := d.u16()
-	if version != 2 && version != recVersion {
+	if version != 2 && version != recVersion && version != recVersionV4 {
 		return nil, corrupt("unsupported recording version %d", version)
 	}
 
@@ -453,6 +526,21 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 	r.Stats.Chunks = d.u64()
 	r.Stats.Cycles = d.u64()
 	r.Stats.Converged = true
+	if d.err != nil {
+		return nil, corrupt("truncated recording: %v", d.err)
+	}
+
+	// The common header ends at the stats words; v4 switches to the
+	// framed shard layout from here.
+	if version == recVersionV4 {
+		if err := r.readV4(d, workers); err != nil {
+			return nil, err
+		}
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
 
 	n := d.u32()
 	r.InitialMem = make(map[uint32]uint64, allocHint(n))

@@ -22,18 +22,45 @@ func seedRecordingBytes(f *testing.F) [][]byte {
 	progs := GenPrograms(3, 2, gen)
 	var out [][]byte
 	for _, mode := range []core.Mode{core.OrderSize, core.OrderOnly, core.PicoLog} {
-		// CheckpointEvery populates the v3 checkpoint section, so mutation
+		// CheckpointEvery populates the checkpoint section, so mutation
 		// reaches the delta-checkpoint decoder too.
 		rec, err := core.Record(cfg, mode, progs, mem.New(), nil,
 			core.RecordOptions{TruncSeed: 3, CheckpointEvery: 4})
 		if err != nil {
 			f.Fatalf("seed recording (%v): %v", mode, err)
 		}
+		// Both container generations: the framed v4 stream WriteTo emits
+		// and the legacy v3 layout, so mutation explores both decoders.
 		var buf bytes.Buffer
 		if _, err := rec.WriteTo(&buf); err != nil {
 			f.Fatalf("serialize seed (%v): %v", mode, err)
 		}
 		out = append(out, buf.Bytes())
+		var v3 bytes.Buffer
+		if _, err := rec.WriteToV3(&v3); err != nil {
+			f.Fatalf("serialize v3 seed (%v): %v", mode, err)
+		}
+		out = append(out, v3.Bytes())
+	}
+	return out
+}
+
+// corruptFrameSeeds derives hostile variants from well-formed streams:
+// truncated tails and single-byte flips that land in v4 frame headers
+// and CRC-protected payloads. They seed the corpus so the fuzzer starts
+// at the interesting failure surface instead of discovering it.
+func corruptFrameSeeds(seeds [][]byte) [][]byte {
+	var out [][]byte
+	for _, b := range seeds {
+		if len(b) < 32 {
+			continue
+		}
+		out = append(out, b[:len(b)/2], b[:len(b)-1])
+		for _, off := range []int{len(b) / 4, len(b) / 2, len(b) - 8} {
+			mut := append([]byte(nil), b...)
+			mut[off] ^= 0x40
+			out = append(out, mut)
+		}
 	}
 	return out
 }
@@ -45,22 +72,41 @@ func seedRecordingBytes(f *testing.F) [][]byte {
 // round trip byte-identically (the loader and writer agree on the
 // format).
 func FuzzRecordingDeserialize(f *testing.F) {
-	for _, b := range seedRecordingBytes(f) {
+	seeds := seedRecordingBytes(f)
+	for _, b := range seeds {
 		f.Add(b)
-		f.Add(b[:len(b)/2])
+	}
+	for _, b := range corruptFrameSeeds(seeds) {
+		f.Add(b)
 	}
 	f.Add([]byte("DLRN"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rec, err := core.ReadRecording(bytes.NewReader(data))
+		// The parallel frame decoder must agree with the sequential one
+		// on accept/reject for every input.
+		recPar, perr := core.ReadRecordingParallel(bytes.NewReader(data), 4)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("sequential and parallel loaders disagree: %v vs %v", err, perr)
+		}
 		if err != nil {
 			if !errors.Is(err, core.ErrCorruptLog) {
 				t.Fatalf("loader error does not wrap ErrCorruptLog: %v", err)
+			}
+			if !errors.Is(perr, core.ErrCorruptLog) {
+				t.Fatalf("parallel loader error does not wrap ErrCorruptLog: %v", perr)
 			}
 			return
 		}
 		var first bytes.Buffer
 		if _, err := rec.WriteTo(&first); err != nil {
 			t.Fatalf("re-serialize of loaded recording: %v", err)
+		}
+		var firstPar bytes.Buffer
+		if _, err := recPar.WriteTo(&firstPar); err != nil {
+			t.Fatalf("re-serialize of parallel-loaded recording: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), firstPar.Bytes()) {
+			t.Fatal("sequential and parallel loads re-serialize differently")
 		}
 		rec2, err := core.ReadRecording(bytes.NewReader(first.Bytes()))
 		if err != nil {

@@ -150,6 +150,7 @@ func checkMode(rep *Report, seed uint64, opts Options, cfg sim.Config, mode core
 	if base == nil {
 		return
 	}
+	saveLoadOracle(rep, mode, rec, base)
 
 	// Oracle: every simulator worker count produces the byte-identical
 	// recording and identical stats.
@@ -200,6 +201,47 @@ func checkMode(rep *Report, seed uint64, opts Options, cfg sim.Config, mode core
 	if opts.Faults {
 		injectByteFaults(rep, seed, cfg, mode, progs, base)
 		injectLogFaults(rep, seed, cfg, mode, progs, base)
+	}
+}
+
+// saveLoadOracle checks the serialization pipeline itself: the v4 save
+// emits byte-identical streams at every compression worker count, the
+// parallel frame decoder reconstructs the same recording as the
+// sequential one, and the legacy v3 writer still round-trips to the
+// same recording (compared through its v4 re-encoding).
+func saveLoadOracle(rep *Report, mode core.Mode, rec *core.Recording, base []byte) {
+	for _, workers := range []int{1, 2, 8} {
+		var buf bytes.Buffer
+		if _, err := rec.WriteToParallel(&buf, workers); err != nil {
+			rep.failf("%v: save workers=%d: %v", mode, workers, err)
+			continue
+		}
+		rep.check(bytes.Equal(buf.Bytes(), base),
+			"%v: save workers=%d bytes differ from default", mode, workers)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := core.ReadRecordingParallel(bytes.NewReader(base), workers)
+		if err != nil {
+			rep.failf("%v: load workers=%d: %v", mode, workers, err)
+			continue
+		}
+		if b := serialize(rep, mode, got); b != nil {
+			rep.check(bytes.Equal(b, base),
+				"%v: load workers=%d re-serializes differently", mode, workers)
+		}
+	}
+	var v3 bytes.Buffer
+	if _, err := rec.WriteToV3(&v3); err != nil {
+		rep.failf("%v: v3 serialize: %v", mode, err)
+		return
+	}
+	got, err := core.ReadRecording(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		rep.failf("%v: v3 reload: %v", mode, err)
+		return
+	}
+	if b := serialize(rep, mode, got); b != nil {
+		rep.check(bytes.Equal(b, base), "%v: v3 round trip re-encodes differently", mode)
 	}
 }
 

@@ -25,10 +25,34 @@ package dlog
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"delorean/internal/bitio"
 	"delorean/internal/lz77"
 )
+
+// sizeMemo caches one derived size, keyed by the entry count it was
+// computed at — appending invalidates it implicitly, and recordings are
+// immutable once Record returns, so steady-state queries never recompute.
+// The mutex matters because experiment figures share memoized recordings
+// across a worker pool and price the same logs concurrently.
+type sizeMemo struct {
+	mu    sync.Mutex
+	n     int
+	bits  int
+	valid bool
+}
+
+func (m *sizeMemo) get(n int, f func() int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.valid || m.n != n {
+		m.bits = f()
+		m.n = n
+		m.valid = true
+	}
+	return m.bits
+}
 
 // procBits returns the PI entry width for n processors plus the DMA
 // pseudo-processor.
@@ -41,6 +65,7 @@ func procBits(nprocs int) int {
 type PILog struct {
 	nprocs  int
 	entries []int
+	cmemo   sizeMemo
 }
 
 // NewPILog returns an empty PI log for nprocs processors.
@@ -76,10 +101,12 @@ func (l *PILog) Pack() ([]byte, int) {
 	return w.Bytes(), w.Len()
 }
 
-// CompressedBits returns the LZ77-compressed size in bits.
+// CompressedBits returns the LZ77-compressed size in bits (memoized).
 func (l *PILog) CompressedBits() int {
-	b, _ := l.Pack()
-	return lz77.CompressedBits(b)
+	return l.cmemo.get(len(l.entries), func() int {
+		b, _ := l.Pack()
+		return lz77.CompressedBits(b)
+	})
 }
 
 // UnpackPILog decodes a packed PI log with n entries.
@@ -114,6 +141,7 @@ type CSEntry struct {
 type CSLog struct {
 	distBits, sizeBits int
 	entries            []CSEntry
+	rmemo, cmemo       sizeMemo
 }
 
 // CSEntryBits is the constant packed entry width.
@@ -155,10 +183,13 @@ func (l *CSLog) Lookup() map[uint64]int {
 	return m
 }
 
-// RawBits returns the uncompressed size in bits, including escapes.
+// RawBits returns the uncompressed size in bits, including escapes
+// (memoized).
 func (l *CSLog) RawBits() int {
-	_, n := l.pack()
-	return n
+	return l.rmemo.get(len(l.entries), func() int {
+		_, n := l.pack()
+		return n
+	})
 }
 
 func (l *CSLog) pack() ([]byte, int) {
@@ -190,10 +221,12 @@ func (l *CSLog) pack() ([]byte, int) {
 // Pack returns the bit-packed log.
 func (l *CSLog) Pack() ([]byte, int) { return l.pack() }
 
-// CompressedBits returns the LZ77-compressed size in bits.
+// CompressedBits returns the LZ77-compressed size in bits (memoized).
 func (l *CSLog) CompressedBits() int {
-	b, _ := l.pack()
-	return lz77.CompressedBits(b)
+	return l.cmemo.get(len(l.entries), func() int {
+		b, _ := l.pack()
+		return lz77.CompressedBits(b)
+	})
 }
 
 // UnpackCSLog decodes a packed CS log (nbits total) for the given
@@ -239,6 +272,7 @@ type SizeLog struct {
 	maxSize  int
 	sizeBits int
 	sizes    []int
+	cmemo    sizeMemo
 }
 
 // NewSizeLog returns an empty size log for chunks of at most maxSize.
@@ -297,10 +331,12 @@ func (l *SizeLog) Pack() ([]byte, int) {
 	return w.Bytes(), w.Len()
 }
 
-// CompressedBits returns the LZ77-compressed size in bits.
+// CompressedBits returns the LZ77-compressed size in bits (memoized).
 func (l *SizeLog) CompressedBits() int {
-	b, _ := l.Pack()
-	return lz77.CompressedBits(b)
+	return l.cmemo.get(len(l.sizes), func() int {
+		b, _ := l.Pack()
+		return lz77.CompressedBits(b)
+	})
 }
 
 // UnpackSizeLog decodes n entries from a packed size log.

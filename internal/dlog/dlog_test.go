@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"delorean/internal/lz77"
 	"delorean/internal/rng"
 )
 
@@ -283,5 +284,45 @@ func TestEmptyLogsZeroBits(t *testing.T) {
 	}
 	if (&IntrLog{}).RawBits() != 0 || (&IOLog{}).RawBits() != 0 || (&DMALog{}).RawBits() != 0 {
 		t.Fatal("empty input log nonzero")
+	}
+}
+
+// Compressed/raw size queries must be memoized: pricing an unchanged log
+// twice must not re-run the LZ77 match-finder, and appending must
+// invalidate the cache.
+func TestSizeQueriesMemoized(t *testing.T) {
+	pi := NewPILog(8)
+	for i := 0; i < 500; i++ {
+		pi.Append(i % 9)
+	}
+	first := pi.CompressedBits()
+	before := lz77.ScanCount()
+	for i := 0; i < 10; i++ {
+		if got := pi.CompressedBits(); got != first {
+			t.Fatalf("CompressedBits changed: %d then %d", first, got)
+		}
+	}
+	if n := lz77.ScanCount() - before; n != 0 {
+		t.Fatalf("10 repeated CompressedBits queries ran %d scans, want 0", n)
+	}
+	pi.Append(3)
+	if got := pi.CompressedBits(); got <= 0 {
+		t.Fatalf("post-append CompressedBits = %d", got)
+	}
+	if n := lz77.ScanCount() - before; n != 1 {
+		t.Fatalf("append then query ran %d scans, want 1", n)
+	}
+
+	cs := NewCSLog(2000)
+	for i := 0; i < 200; i++ {
+		cs.Append(uint64(3*i+1), i%2000)
+	}
+	cs.RawBits()
+	cs.CompressedBits()
+	before = lz77.ScanCount()
+	cs.RawBits()
+	cs.CompressedBits()
+	if n := lz77.ScanCount() - before; n != 0 {
+		t.Fatalf("repeated CS queries ran %d scans, want 0", n)
 	}
 }

@@ -21,7 +21,8 @@ type IntrEntry struct {
 // increasing SeqID order and encoded as (varint seq delta, 1-bit urgent,
 // varint type, varint data).
 type IntrLog struct {
-	entries []IntrEntry
+	entries      []IntrEntry
+	rmemo, cmemo sizeMemo
 }
 
 // Append records a delivery.
@@ -65,16 +66,20 @@ func (l *IntrLog) Pack() ([]byte, int) {
 	return w.Bytes(), w.Len()
 }
 
-// RawBits returns the uncompressed size in bits.
+// RawBits returns the uncompressed size in bits (memoized).
 func (l *IntrLog) RawBits() int {
-	_, n := l.Pack()
-	return n
+	return l.rmemo.get(len(l.entries), func() int {
+		_, n := l.Pack()
+		return n
+	})
 }
 
-// CompressedBits returns the LZ77-compressed size in bits.
+// CompressedBits returns the LZ77-compressed size in bits (memoized).
 func (l *IntrLog) CompressedBits() int {
-	b, _ := l.Pack()
-	return lz77.CompressedBits(b)
+	return l.cmemo.get(len(l.entries), func() int {
+		b, _ := l.Pack()
+		return lz77.CompressedBits(b)
+	})
 }
 
 // UnpackIntrLog decodes n entries.
@@ -113,6 +118,7 @@ func UnpackIntrLog(packed []byte, nbits, n int) (*IntrLog, error) {
 // loads, in program order.
 type IOLog struct {
 	values []uint64
+	cmemo  sizeMemo
 }
 
 // Append records one I/O load value.
@@ -136,10 +142,12 @@ func (l *IOLog) Pack() ([]byte, int) {
 	return w.Bytes(), w.Len()
 }
 
-// CompressedBits returns the LZ77-compressed size in bits.
+// CompressedBits returns the LZ77-compressed size in bits (memoized).
 func (l *IOLog) CompressedBits() int {
-	b, _ := l.Pack()
-	return lz77.CompressedBits(b)
+	return l.cmemo.get(len(l.values), func() int {
+		b, _ := l.Pack()
+		return lz77.CompressedBits(b)
+	})
 }
 
 // DMAEntry is one DMA transfer in commit order: the data written, its
@@ -153,7 +161,8 @@ type DMAEntry struct {
 
 // DMALog records DMA transfers in commit order.
 type DMALog struct {
-	entries []DMAEntry
+	entries      []DMAEntry
+	rmemo, cmemo sizeMemo
 }
 
 // Append records one transfer.
@@ -165,10 +174,12 @@ func (l *DMALog) Entries() []DMAEntry { return l.entries }
 // Len returns the transfer count.
 func (l *DMALog) Len() int { return len(l.entries) }
 
-// RawBits returns the uncompressed size in bits.
+// RawBits returns the uncompressed size in bits (memoized).
 func (l *DMALog) RawBits() int {
-	_, n := l.Pack()
-	return n
+	return l.rmemo.get(len(l.entries), func() int {
+		_, n := l.Pack()
+		return n
+	})
 }
 
 // Pack returns the bit-packed log: (varint slot, 32-bit addr, varint
@@ -186,10 +197,12 @@ func (l *DMALog) Pack() ([]byte, int) {
 	return w.Bytes(), w.Len()
 }
 
-// CompressedBits returns the LZ77-compressed size in bits.
+// CompressedBits returns the LZ77-compressed size in bits (memoized).
 func (l *DMALog) CompressedBits() int {
-	b, _ := l.Pack()
-	return lz77.CompressedBits(b)
+	return l.cmemo.get(len(l.entries), func() int {
+		b, _ := l.Pack()
+		return lz77.CompressedBits(b)
+	})
 }
 
 // UnpackDMALog decodes n entries.
@@ -238,6 +251,7 @@ type SlotEntry struct {
 // SlotLog records out-of-turn commit slots in slot order.
 type SlotLog struct {
 	entries []SlotEntry
+	rmemo   sizeMemo
 }
 
 // Append records one out-of-turn commit.
@@ -254,10 +268,12 @@ func (l *SlotLog) Entries() []SlotEntry { return l.entries }
 // Len returns the entry count.
 func (l *SlotLog) Len() int { return len(l.entries) }
 
-// RawBits returns the uncompressed size in bits.
+// RawBits returns the uncompressed size in bits (memoized).
 func (l *SlotLog) RawBits() int {
-	_, n := l.Pack()
-	return n
+	return l.rmemo.get(len(l.entries), func() int {
+		_, n := l.Pack()
+		return n
+	})
 }
 
 // Pack returns the bit-packed log: (varint slot delta, 4-bit proc).

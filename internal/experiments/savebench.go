@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"delorean/internal/core"
+	"delorean/internal/metrics"
+	"delorean/internal/workload"
+)
+
+// SaveBenchRow is one (workload, workers) point of the recording
+// save/load pipeline benchmark: host wall-clock time of the v4
+// serializer and deserializer at a given compression worker count,
+// normalized to the sequential (workers=1) run of the same recording.
+// Workers == 0 is the sequential reference row.
+type SaveBenchRow struct {
+	Workload    string
+	Bytes       int
+	Workers     int
+	SaveMillis  float64
+	LoadMillis  float64
+	SaveSpeedup float64
+	LoadSpeedup float64
+}
+
+// SaveBench measures the wall-clock speedup of the sharded v4 save/load
+// pipeline over the sequential encoder on checkpointed OrderOnly
+// recordings. Like ReplaySpeed it measures host time, so workloads run
+// strictly serially. Every parallel save is verified byte-identical to
+// the sequential stream, and every load is verified by re-serializing —
+// the benchmark doubles as a determinism check.
+func SaveBench(c Config, workers []int) ([]SaveBenchRow, error) {
+	if len(workers) == 0 {
+		workers = []int{2, 4, 8}
+	}
+	var rows []SaveBenchRow
+	for _, name := range c.workloads() {
+		cfg := c.machine()
+		w := workload.Get(name, c.params())
+		// Checkpoints every ~1/16 of the run give the serializer real
+		// memory-delta frames to compress, which is where the bulk of a
+		// recording's bytes live.
+		probe, err := core.Record(cfg, core.OrderOnly, w.Progs, w.InitMem(), w.Devs, core.RecordOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: probe record: %w", name, err)
+		}
+		every := probe.Stats.Chunks / 16
+		if min := uint64(4 * cfg.NProcs); every < min {
+			every = min
+		}
+		w = workload.Get(name, c.params())
+		rec, err := core.Record(cfg, core.OrderOnly, w.Progs, w.InitMem(), w.Devs,
+			core.RecordOptions{CheckpointEvery: every})
+		if err != nil {
+			return nil, fmt.Errorf("%s: record: %w", name, err)
+		}
+
+		var ref bytes.Buffer
+		if _, err := rec.WriteToParallel(&ref, 1); err != nil {
+			return nil, fmt.Errorf("%s: serialize: %w", name, err)
+		}
+		wire := ref.Bytes()
+
+		timedSave := func(par int) (float64, error) {
+			best := 0.0
+			for rep := 0; rep < 3; rep++ {
+				var sink io.Writer = io.Discard
+				var check *bytes.Buffer
+				if rep == 0 && par != 1 {
+					check = &bytes.Buffer{}
+					check.Grow(len(wire))
+					sink = check
+				}
+				start := time.Now()
+				if _, err := rec.WriteToParallel(sink, par); err != nil {
+					return 0, fmt.Errorf("%s save workers=%d: %w", name, par, err)
+				}
+				ms := float64(time.Since(start).Microseconds()) / 1000
+				if check != nil && !bytes.Equal(check.Bytes(), wire) {
+					return 0, fmt.Errorf("%s save workers=%d: bytes differ from sequential", name, par)
+				}
+				if rep == 0 || ms < best {
+					best = ms
+				}
+			}
+			return best, nil
+		}
+		timedLoad := func(par int) (float64, error) {
+			best := 0.0
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				got, err := core.ReadRecordingParallel(bytes.NewReader(wire), par)
+				ms := float64(time.Since(start).Microseconds()) / 1000
+				if err != nil {
+					return 0, fmt.Errorf("%s load workers=%d: %w", name, par, err)
+				}
+				if rep == 0 {
+					var re bytes.Buffer
+					if _, err := got.WriteToParallel(&re, 1); err != nil {
+						return 0, err
+					}
+					if !bytes.Equal(re.Bytes(), wire) {
+						return 0, fmt.Errorf("%s load workers=%d: loaded recording re-encodes differently", name, par)
+					}
+				}
+				if rep == 0 || ms < best {
+					best = ms
+				}
+			}
+			return best, nil
+		}
+
+		seqSave, err := timedSave(1)
+		if err != nil {
+			return nil, err
+		}
+		seqLoad, err := timedLoad(1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SaveBenchRow{
+			Workload: name, Bytes: len(wire),
+			SaveMillis: seqSave, LoadMillis: seqLoad, SaveSpeedup: 1, LoadSpeedup: 1,
+		})
+		for _, par := range workers {
+			sMs, err := timedSave(par)
+			if err != nil {
+				return nil, err
+			}
+			lMs, err := timedLoad(par)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SaveBenchRow{
+				Workload: name, Bytes: len(wire), Workers: par,
+				SaveMillis: sMs, LoadMillis: lMs,
+				SaveSpeedup: metrics.SafeDiv(seqSave, sMs),
+				LoadSpeedup: metrics.SafeDiv(seqLoad, lMs),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderSaveBench renders the save/load pipeline benchmark.
+func RenderSaveBench(rows []SaveBenchRow) string {
+	t := &metrics.Table{
+		Title: "Save/load: sharded v4 recording pipeline (host wall-clock)",
+		Cols:  []string{"workload", "bytes", "workers", "save ms", "speedup", "load ms", "speedup"},
+	}
+	for _, r := range rows {
+		wk := "seq"
+		if r.Workers > 0 {
+			wk = fmt.Sprint(r.Workers)
+		}
+		t.AddRow(r.Workload, fmt.Sprint(r.Bytes), wk,
+			metrics.F(r.SaveMillis), metrics.F(r.SaveSpeedup),
+			metrics.F(r.LoadMillis), metrics.F(r.LoadSpeedup))
+	}
+	return t.Render()
+}

@@ -3,10 +3,11 @@
 //
 // The paper states "all log buffers are enhanced with compression hardware
 // that uses the LZ77 algorithm" (§5). This package provides a faithful
-// software LZ77: a sliding window, greedy longest-match search accelerated
-// by a chained hash table, and a compact token encoding. It reports
-// compressed sizes in bits so the experiment harnesses can express log
-// sizes in bits/processor/kilo-instruction, as the paper does.
+// software LZ77: a sliding window, a pooled hash-chain match-finder with
+// lazy one-step matching and word-at-a-time prefix comparison, and a
+// compact token encoding. It reports compressed sizes in bits so the
+// experiment harnesses can express log sizes in
+// bits/processor/kilo-instruction, as the paper does.
 //
 // Token format (bit-packed, LSB-first):
 //
@@ -18,8 +19,11 @@
 package lz77
 
 import (
+	"encoding/binary"
 	"errors"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"delorean/internal/bitio"
 )
@@ -31,13 +35,29 @@ const (
 	maxLen     = minLen + (1 << lenBits) - 1
 	windowSize = 1 << windowBits
 
-	hashBits = 14
+	hashBits = 15
 	hashSize = 1 << hashBits
+	hashLen  = 4 // bytes hashed per chain position; see hash4
+
+	hash3Bits = 14
+	hash3Size = 1 << hash3Bits
 )
 
+// hash4 hashes the four bytes at p. Hashing one byte more than minLen
+// makes the chains far more selective: every chain entry shares a 4-byte
+// prefix with the probe position, so walks spend their budget extending
+// real candidates instead of rejecting 3-byte coincidences. Matches of
+// exactly minLen bytes are recovered by the separate single-entry hash3
+// table, which mirrors the candidate the old greedy matcher probed.
+func hash4(p []byte) uint32 {
+	return (binary.LittleEndian.Uint32(p) * 0x9e3779b1) >> (32 - hashBits)
+}
+
+// hash3 hashes the three bytes at p, for the single-entry short-match
+// table.
 func hash3(p []byte) uint32 {
 	v := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16
-	return (v * 0x9e3779b1) >> (32 - hashBits)
+	return (v * 0x9e3779b1) >> (32 - hash3Bits)
 }
 
 // matcher is the reusable match-search state: head[h] is the most recent
@@ -46,18 +66,27 @@ func hash3(p []byte) uint32 {
 // paths call into the compressor once per query — a fresh head+prev pair
 // per call would dominate the allocation profile.
 type matcher struct {
-	head []int32
-	prev []int32
+	head  []int32 // hash4 chain heads
+	head3 []int32 // most recent position per hash3 bucket (no chain)
+	prev  []int32
 }
 
 var matcherPool = sync.Pool{
-	New: func() any { return &matcher{head: make([]int32, hashSize)} },
+	New: func() any {
+		return &matcher{
+			head:  make([]int32, hashSize),
+			head3: make([]int32, hash3Size),
+		}
+	},
 }
 
 func getMatcher(n int) *matcher {
 	m := matcherPool.Get().(*matcher)
 	for i := range m.head {
 		m.head[i] = -1
+	}
+	for i := range m.head3 {
+		m.head3[i] = -1
 	}
 	if cap(m.prev) < n {
 		m.prev = make([]int32, n)
@@ -69,51 +98,181 @@ func getMatcher(n int) *matcher {
 
 func (m *matcher) release() { matcherPool.Put(m) }
 
-// scan runs the greedy longest-match tokenization of src, calling
-// emitLiteral/emitMatch for each token. Compress and CompressedBits share
-// it, so the counted size is the packed size by construction.
-func scan(src []byte, m *matcher, emitLiteral func(b byte), emitMatch func(dist, length int)) {
-	head, prev := m.head, m.prev
-	insert := func(i int) {
-		if i+minLen > len(src) {
-			return
-		}
-		h := hash3(src[i:])
-		prev[i] = head[h]
-		head[h] = int32(i)
-	}
+// Match-finder tuning. These model a hardware match-finder's bounded
+// probe budget: maxChain caps the hash-chain walk per position, goodLen
+// stops the walk once a match that long is in hand, and lazyMax disables
+// the one-step lazy probe when the current match is already long enough
+// that deferral almost never pays.
+const (
+	maxChain = 16
+	goodLen  = 32
+	lazyMax  = 32
+)
 
+// scans counts match-finder passes, so tests can assert the memoized
+// accounting paths stopped re-scanning buffers they already priced.
+var scans atomic.Int64
+
+// ScanCount returns the number of full match-finder passes this process
+// has run (test instrumentation).
+func ScanCount() int64 { return scans.Load() }
+
+// scan runs the hash-chain tokenization of src with lazy one-step
+// matching, calling emitLiteral/emitMatch for each token. Compress and
+// CompressedBits share it, so the counted size is the packed size by
+// construction.
+func scan(src []byte, m *matcher, emitLiteral func(b byte), emitMatch func(dist, length int)) {
+	scans.Add(1)
+	n := len(src)
+	if n < minLen {
+		for _, b := range src {
+			emitLiteral(b)
+		}
+		return
+	}
+	head, head3, prev := m.head, m.head3, m.prev
+	hash4End := n - hashLen // last position with a full 4-byte hash window
+	hash3End := n - minLen  // last position with a full 3-byte hash window
+	// index records position i in both tables; probe must read its
+	// candidates first.
+	index := func(i int) {
+		head3[hash3(src[i:])] = int32(i)
+		if i <= hash4End {
+			h := hash4(src[i:])
+			prev[i] = head[h]
+			head[h] = int32(i)
+		}
+	}
+	// probe returns the best match starting at i: the single hash3
+	// candidate (what the old greedy matcher saw) plus the hash4 chain.
+	probe := func(i int) (int, int) {
+		c3 := head3[hash3(src[i:])]
+		if i <= hash4End {
+			return findMatch(src, head, prev, i, hash4(src[i:]), c3)
+		}
+		return probeOne(src, i, c3)
+	}
 	i := 0
-	for i < len(src) {
-		bestLen, bestDist := 0, 0
-		if i+minLen <= len(src) {
-			h := hash3(src[i:])
-			limit := i - windowSize
-			const maxChain = 64
-			for cand, chain := head[h], 0; cand >= 0 && int(cand) > limit && chain < maxChain; cand, chain = prev[cand], chain+1 {
-				c := int(cand)
-				n := matchLen(src[c:], src[i:])
-				if n > bestLen {
-					bestLen, bestDist = n, i-c
-					if n >= maxLen {
-						bestLen = maxLen
-						break
-					}
+	misses := 0 // consecutive positions with no match, drives skip stride
+	for i < n {
+		if i > hash3End {
+			emitLiteral(src[i])
+			i++
+			continue
+		}
+		l, d := probe(i)
+		index(i)
+		if l < minLen {
+			emitLiteral(src[i])
+			i++
+			misses++
+			// Skip acceleration on long literal runs: every byte is still
+			// emitted and indexed, but the (expensive) chain probe runs at
+			// a stride that grows with the run length. A found match
+			// resets the stride, so compressible regions pay nothing.
+			if misses >= 64 {
+				for k := misses >> 6; k > 0 && i <= hash3End; k-- {
+					index(i)
+					emitLiteral(src[i])
+					i++
 				}
 			}
+			continue
 		}
-		if bestLen >= minLen {
-			emitMatch(bestDist, bestLen)
-			end := i + bestLen
-			for ; i < end; i++ {
-				insert(i)
+		misses = 0
+		// Lazy one-step matching: when position i+1 starts a strictly
+		// longer match, emit src[i] as a literal and carry the better
+		// match forward instead of committing the shorter one.
+		if l < lazyMax && i < hash3End {
+			l1, d1 := probe(i + 1)
+			if l1 > l {
+				emitLiteral(src[i])
+				i++
+				index(i)
+				l, d = l1, d1
 			}
-		} else {
-			emitLiteral(src[i])
-			insert(i)
-			i++
+		}
+		emitMatch(d, l)
+		end := i + l
+		for j := i + 1; j < end && j <= hash3End; j++ {
+			index(j)
+		}
+		i = end
+	}
+}
+
+// probeOne evaluates the single candidate cand for a match starting at i
+// (used for tail positions past the last full hash4 window).
+func probeOne(src []byte, i int, cand int32) (int, int) {
+	limit := int32(i - windowSize)
+	if limit < -1 {
+		limit = -1
+	}
+	if cand <= limit {
+		return 0, 0
+	}
+	avail := len(src) - i
+	if avail > maxLen {
+		avail = maxLen
+	}
+	l := matchLen(src[cand:], src[i:i+avail])
+	if l < minLen {
+		return 0, 0
+	}
+	return l, i - int(cand)
+}
+
+// findMatch walks position i's hash4 chain (already hashed to h) for the
+// longest match within the window, seeding the search with the hash3
+// table's candidate c3 so minLen-byte matches the 4-byte hash cannot see
+// are still found. A candidate that cannot beat the best so far must
+// differ at byte bestLen, so one byte comparison rejects it before the
+// full matchLen. The walk stops after maxChain probes or as soon as a
+// goodLen match is in hand.
+func findMatch(src []byte, head, prev []int32, i int, h uint32, c3 int32) (bestLen, bestDist int) {
+	avail := len(src) - i
+	if avail > maxLen {
+		avail = maxLen
+	}
+	limit := int32(i - windowSize)
+	if limit < -1 {
+		limit = -1 // empty chain slots hold -1; never follow them
+	}
+	bestLen = minLen - 1
+	b := src[i : i+avail]
+	if c3 > limit {
+		if l := matchLen(src[c3:], b); l > bestLen {
+			bestLen, bestDist = l, i-int(c3)
+			if bestLen >= avail || bestLen >= goodLen {
+				return bestLen, bestDist
+			}
 		}
 	}
+	reject := b[bestLen] // loop-invariant until bestLen grows
+	for cand, chain := head[h], maxChain; cand > limit; cand = prev[cand] {
+		c := int(cand)
+		if src[c+bestLen] != reject {
+			if chain--; chain <= 0 {
+				break
+			}
+			continue
+		}
+		l := matchLen(src[c:], b)
+		if l > bestLen {
+			bestLen, bestDist = l, i-c
+			if l >= avail || l >= goodLen {
+				break
+			}
+			reject = b[l]
+		}
+		if chain--; chain <= 0 {
+			break
+		}
+	}
+	if bestLen < minLen {
+		return 0, 0
+	}
+	return bestLen, bestDist
 }
 
 // Compress returns the LZ77 token stream for src and its length in bits.
@@ -136,6 +295,11 @@ func Compress(src []byte) (packed []byte, bits int) {
 	return w.Bytes(), w.Len()
 }
 
+// matchLen returns the length of the common prefix of a and b, capped at
+// maxLen. It compares eight bytes at a time — the first differing byte
+// falls out of the XOR's trailing zero count — with an explicit
+// byte-at-a-time tail for the last partial word. a and b may overlap
+// (they are views into the same source buffer).
 func matchLen(a, b []byte) int {
 	n := len(a)
 	if len(b) < n {
@@ -144,7 +308,14 @@ func matchLen(a, b []byte) int {
 	if n > maxLen {
 		n = maxLen
 	}
-	for i := 0; i < n; i++ {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		if x != 0 {
+			return i + bits.TrailingZeros64(x)>>3
+		}
+	}
+	for ; i < n; i++ {
 		if a[i] != b[i] {
 			return i
 		}
@@ -215,11 +386,20 @@ func CompressedBits(src []byte) int {
 	return bits
 }
 
-// Ratio returns compressed bits divided by uncompressed bits, or 1 for an
-// empty input.
-func Ratio(src []byte) float64 {
-	if len(src) == 0 {
+// RatioOf returns compressed bits divided by the raw bit size of a
+// rawLen-byte buffer, or 1 for an empty input. Callers that already hold
+// a compressed size (from Compress or a memoized CompressedBits) use it
+// to price a buffer without re-running the match-finder.
+func RatioOf(compressedBits, rawLen int) float64 {
+	if rawLen == 0 {
 		return 1
 	}
-	return float64(CompressedBits(src)) / float64(8*len(src))
+	return float64(compressedBits) / float64(8*rawLen)
+}
+
+// Ratio returns compressed bits divided by uncompressed bits, or 1 for an
+// empty input. It runs one scan; callers with a known compressed size
+// should use RatioOf instead.
+func Ratio(src []byte) float64 {
+	return RatioOf(CompressedBits(src), len(src))
 }
