@@ -1,0 +1,87 @@
+// delorean-serve is the record/replay daemon: it stores recordings in a
+// content-addressed store and exposes recording, replay verification,
+// and trace export over HTTP. See internal/server for the API.
+//
+//	delorean-serve -addr :8723 -store /var/lib/delorean
+//
+// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
+// requests finish (their verdicts are identical to an undisturbed run),
+// and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"delorean/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8723", "listen address")
+		dir       = flag.String("store", "", "recording store directory (empty: in-memory only)")
+		workers   = flag.Int("workers", 0, "simulation worker count (0: host default)")
+		queue     = flag.Int("queue", 16, "max queued simulation jobs before 429")
+		maxUpload = flag.Int64("max-upload", 64<<20, "max recording upload bytes")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request simulation deadline (<0: none)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *workers, *queue, *maxUpload, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "delorean-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, workers, queue int, maxUpload int64, timeout time.Duration) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	srv, err := server.New(server.Config{
+		Dir:            dir,
+		Workers:        workers,
+		QueueDepth:     queue,
+		MaxUploadBytes: maxUpload,
+		RequestTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "delorean-serve: listening on %s\n", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain: stop accepting, let in-flight handlers (and the simulation
+	// jobs they wait on) finish, then stop the pool.
+	fmt.Fprintln(os.Stderr, "delorean-serve: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Drain()
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

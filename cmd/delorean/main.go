@@ -23,10 +23,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"delorean"
 	"delorean/internal/metrics"
@@ -52,6 +55,12 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write a Perfetto/chrome trace of the recording run (or, with -load, the first replay) to this file")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the in-flight record or replay run: the
+	// engine stops within a chunk window and the error explains itself
+	// instead of the process dying mid-simulation.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
 
 	if *list {
 		fmt.Println(strings.Join(delorean.WorkloadNames(), "\n"))
@@ -108,7 +117,7 @@ func main() {
 				writeTrace(*traceOut, tr)
 			}
 		} else {
-			rec, err = delorean.Record(cfg, mode, w)
+			rec, err = delorean.RecordContext(ctx, cfg, mode, w)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "record failed:", err)
@@ -166,6 +175,7 @@ func main() {
 			PerturbSeed:   uint64(1000*i + 17),
 			UseStratified: *stratify > 0,
 			Parallel:      *repPar,
+			Ctx:           ctx,
 		}
 		var res delorean.ReplayResult
 		var err error

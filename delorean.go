@@ -25,6 +25,7 @@
 package delorean
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -208,6 +209,14 @@ type Recording struct {
 // and captures a Recording. The workload's initial memory is the system
 // checkpoint replay will restart from.
 func Record(cfg Config, mode Mode, w *Workload) (*Recording, error) {
+	return RecordContext(context.Background(), cfg, mode, w)
+}
+
+// RecordContext is Record with cancellation: once ctx is done the
+// engine stops within a bounded number of scheduler steps — far less
+// than one chunk's execution — and RecordContext returns an error
+// wrapping ctx.Err(). The partial recording is discarded.
+func RecordContext(ctx context.Context, cfg Config, mode Mode, w *Workload) (*Recording, error) {
 	m := cfg.machine()
 	memory := w.InitMem()
 	rec, err := core.Record(m, coreMode(mode), w.Progs, memory, w.Devs, core.RecordOptions{
@@ -215,6 +224,7 @@ func Record(cfg Config, mode Mode, w *Workload) (*Recording, error) {
 		ExactConflicts:  cfg.ExactConflicts,
 		CheckpointEvery: cfg.CheckpointEvery,
 		Parallel:        cfg.SimParallel,
+		Ctx:             ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("delorean: record %s: %w", w.Name, err)
@@ -294,6 +304,11 @@ type ReplayWith struct {
 	// The verdict is bit-identical to a sequential replay at every
 	// worker count. Incompatible with UseStratified.
 	Parallel int
+	// Ctx, when non-nil, cancels the replay: once the context is done the
+	// engine (every interval worker, for segmented replay) stops within a
+	// bounded number of scheduler steps and Replay returns an error
+	// wrapping ctx.Err() — never a divergence verdict.
+	Ctx context.Context
 }
 
 // ReplayResult reports a replay run.
@@ -307,6 +322,40 @@ type ReplayResult struct {
 	// segmented replay (ReplayWith.Parallel) proved divergent, or -1
 	// when the replay was deterministic or ran unsegmented.
 	DivergentInterval int
+	// Divergence locates and classifies the first detected divergence
+	// when Deterministic is false (nil otherwise).
+	Divergence *DivergenceInfo
+}
+
+// DivergenceInfo is the public face of the replay verifier's divergence
+// taxonomy: where a non-deterministic replay first provably departed
+// from the recording, and how.
+type DivergenceInfo struct {
+	// Kind classifies the divergence: "stall" (replay starved or ran out
+	// of budget before reproducing the log), "order" (a processor
+	// committed out of the logged sequence), "size" (a chunk committed
+	// the wrong instruction count), or "state" (streams matched but a
+	// per-core digest, the fingerprint or final memory differs).
+	Kind string
+	// Slot is the global commit slot of the divergence (-1 if it could
+	// not be narrowed to a slot).
+	Slot int64
+	// Proc is the diverging processor (-1 if unattributed; the value
+	// equal to the processor count is the DMA pseudo-processor).
+	Proc int
+	// SeqID is the diverging chunk's per-processor sequence number (-1
+	// if unknown).
+	SeqID int64
+	// Interval is the checkpoint-delimited interval a segmented replay
+	// attributed the divergence to (-1 for unsegmented replays).
+	Interval int
+	// Detail is a human-readable diagnosis.
+	Detail string
+}
+
+func divergenceInfo(div *core.DivergenceError) *DivergenceInfo {
+	return &DivergenceInfo{Kind: div.Kind, Slot: div.Slot, Proc: div.Proc,
+		SeqID: div.SeqID, Interval: div.Interval, Detail: div.Detail}
 }
 
 // Replay re-executes the recording deterministically on the paper's
@@ -317,6 +366,7 @@ func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
 		ExactConflicts: r.cfg.ExactConflicts,
 		Parallel:       r.cfg.SimParallel,
 		ReplayParallel: opts.Parallel,
+		Ctx:            opts.Ctx,
 	}
 	if opts.PerturbSeed != 0 {
 		ro.Perturb = bulksc.DefaultPerturb(opts.PerturbSeed)
@@ -324,11 +374,12 @@ func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
 	res, err := core.Replay(r.rec, core.ReplayConfig(r.cfg.machine()), r.progs, ro)
 	if err != nil {
 		// A detected divergence is a well-formed replay outcome
-		// (Deterministic=false), not an API failure.
+		// (Deterministic=false), not an API failure. A cancelled replay is
+		// an API failure (wrapping context.Canceled), never a verdict.
 		var div *core.DivergenceError
 		if errors.As(err, &div) {
 			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats),
-				DivergentInterval: div.Interval}, nil
+				DivergentInterval: div.Interval, Divergence: divergenceInfo(div)}, nil
 		}
 		return ReplayResult{}, fmt.Errorf("delorean: replay: %w", err)
 	}
@@ -366,7 +417,8 @@ func (r *Recording) Checkpoints() int { return len(r.rec.Checkpoints) }
 // their saved chunk boundaries, and the log suffixes drive ordering and
 // inputs.
 func (r *Recording) ReplayFromCheckpoint(idx int, opts ReplayWith) (ReplayResult, error) {
-	ro := core.ReplayOptions{ExactConflicts: r.cfg.ExactConflicts, Parallel: r.cfg.SimParallel}
+	ro := core.ReplayOptions{ExactConflicts: r.cfg.ExactConflicts, Parallel: r.cfg.SimParallel,
+		Ctx: opts.Ctx}
 	if opts.PerturbSeed != 0 {
 		ro.Perturb = bulksc.DefaultPerturb(opts.PerturbSeed)
 	}
@@ -375,7 +427,7 @@ func (r *Recording) ReplayFromCheckpoint(idx int, opts ReplayWith) (ReplayResult
 		var div *core.DivergenceError
 		if errors.As(err, &div) {
 			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats),
-				DivergentInterval: div.Interval}, nil
+				DivergentInterval: div.Interval, Divergence: divergenceInfo(div)}, nil
 		}
 		return ReplayResult{}, fmt.Errorf("delorean: interval replay: %w", err)
 	}

@@ -78,6 +78,16 @@ type Engine struct {
 	// replay. Reuse is observation-equivalent: Reset reproduces the
 	// post-construction state exactly.
 	MS *sim.MemSys
+	// Cancel, when non-nil, requests cooperative cancellation: once the
+	// channel closes, the run stops at the next scheduler step (within a
+	// bounded number of events — far less than one chunk's worth of
+	// execution) and Stats.Cancelled reports it. Cancellation leaves the
+	// engine in the same reusable state as any other early exit: a later
+	// Run (with fresh Mem/Policy/Replay, and Cancel cleared or re-armed)
+	// behaves exactly like a run on a fresh engine, and a pooled MS is
+	// reset as usual. The serving layer arms this with a request
+	// context's Done channel.
+	Cancel <-chan struct{}
 
 	arb    *arbiter.Arbiter
 	ms     *sim.MemSys
@@ -124,6 +134,33 @@ type Engine struct {
 	appliedCommits uint64
 	stopPending    bool // commit target reached; draining owed splits
 	stopped        bool // drain finished: the run ends at the boundary
+
+	// cancelled latches a Cancel-channel close; cancelPoll rations the
+	// channel polls to one every cancelPollMask+1 scheduler steps.
+	cancelled  bool
+	cancelPoll uint32
+}
+
+// cancelPollMask spaces Cancel-channel polls: one select per 64 scheduler
+// steps. A chunk is hundreds to thousands of instructions — many events —
+// so a cancelled run stops well within one chunk window, while an
+// uncancellable run pays only a nil check per step.
+const cancelPollMask = 63
+
+// pollCancel samples the Cancel channel (rationed) and latches the
+// result. Called from the serial scheduler loops only.
+func (e *Engine) pollCancel() {
+	if e.Cancel == nil || e.cancelled {
+		return
+	}
+	if e.cancelPoll++; e.cancelPoll&cancelPollMask != 0 {
+		return
+	}
+	select {
+	case <-e.Cancel:
+		e.cancelled = true
+	default:
+	}
 }
 
 // stopGate wraps the ordering policy so reaching StopAtCommit closes the
@@ -379,6 +416,8 @@ func (e *Engine) resetRun() {
 	e.appliedCommits = 0
 	e.stopPending = false
 	e.stopped = false
+	e.cancelled = false
+	e.cancelPoll = 0
 }
 
 // Run executes the machine to completion and returns statistics. The
@@ -519,6 +558,9 @@ func (e *Engine) chunkCount() uint64 {
 // event at a time, in (time, kind, id, epoch) order.
 func (e *Engine) runSequential(budget uint64) {
 	for e.events.Len() > 0 && e.doneCores < e.Cfg.NProcs && !e.inputStarved && !e.stopped && e.execCount() < budget && e.chunkCount() < budget {
+		if e.pollCancel(); e.cancelled {
+			return
+		}
 		ev := e.events.pop()
 		if ev.time < e.now {
 			panic("bulksc: event time regressed")
@@ -563,6 +605,7 @@ func (e *Engine) finishStats(budget uint64) {
 	s := &e.stats
 	s.Converged = e.doneCores == e.Cfg.NProcs
 	s.Stopped = e.stopped
+	s.Cancelled = e.cancelled
 	s.Cycles = e.lastCommitTime
 	for _, co := range e.cores {
 		if co.tm.Clock > s.Cycles {

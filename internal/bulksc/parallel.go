@@ -53,6 +53,20 @@ func (e *Engine) runParallel(budget uint64) {
 	const inf = ^uint64(0)
 
 	for e.doneCores < e.Cfg.NProcs && !e.stopped {
+		// One poll per window (or serial event): windows are already
+		// barrier-priced, so the select is noise, and every iteration
+		// advances at most ArbLat cycles per core — a cancelled run stops
+		// within a fraction of one chunk.
+		if e.Cancel != nil && !e.cancelled {
+			select {
+			case <-e.Cancel:
+				e.cancelled = true
+			default:
+			}
+		}
+		if e.cancelled {
+			return
+		}
 		exec := e.execCount()
 		if exec >= budget || e.chunkCount() >= budget || e.inputStarved {
 			return

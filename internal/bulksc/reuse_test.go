@@ -109,6 +109,40 @@ func TestEngineTraceObservationOnly(t *testing.T) {
 	}
 }
 
+// A cancelled run must leave the engine as reusable as any other early
+// exit: clearing Cancel and refreshing Mem, the next Run behaves exactly
+// like a run on a fresh engine. This is what lets the serving layer pool
+// engines across requests whose contexts get cancelled.
+func TestEngineReuseAfterCancel(t *testing.T) {
+	want := runEngine(t, &Engine{Cfg: testConfig(4), Progs: reuseProgs()})
+
+	cancelled := make(chan struct{})
+	close(cancelled)
+	e := &Engine{Cfg: testConfig(4), Progs: reuseProgs()}
+	for cycle := 1; cycle <= 2; cycle++ {
+		e.Mem = mem.New()
+		e.Cancel = cancelled
+		st := e.Run()
+		if !st.Cancelled {
+			t.Fatalf("cycle %d: pre-cancelled run not reported: %+v", cycle, st)
+		}
+		if st.Converged {
+			t.Fatalf("cycle %d: cancelled run claims convergence", cycle)
+		}
+
+		e.Mem = mem.New()
+		e.Cancel = nil
+		again := runEngine(t, e)
+		if again.Cancelled {
+			t.Fatalf("cycle %d: rerun kept stale Cancelled flag", cycle)
+		}
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("cycle %d: rerun after cancel differs from fresh engine:\n got %+v\nwant %+v",
+				cycle, again, want)
+		}
+	}
+}
+
 // A sink sized for the wrong processor count is a wiring bug: Run must
 // refuse it loudly rather than panic on a stray index later.
 func TestEngineTraceWrongSizePanics(t *testing.T) {

@@ -165,7 +165,12 @@ type Stats struct {
 	// only: segmented replay workers run each interval up to the next
 	// checkpoint's commit slot and treat Stopped as success.
 	Stopped bool
-	PerProc []ProcStats
+	// Cancelled marks a run abandoned through Engine.Cancel. Host-side
+	// only: callers must classify such a run as cancelled, never as a
+	// divergence or log corruption — the partial stats describe however
+	// far the run got.
+	Cancelled bool
+	PerProc   []ProcStats
 }
 
 // ProcStats is the per-core slice.

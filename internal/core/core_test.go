@@ -9,6 +9,7 @@ import (
 	"delorean/internal/mem"
 	"delorean/internal/rng"
 	"delorean/internal/sim"
+	"delorean/internal/workload"
 )
 
 func testConfig(nprocs, chunkSize int) sim.Config {
@@ -60,50 +61,11 @@ func racyProgs(n, iters int) []*isa.Program {
 }
 
 // systemProgram exercises interrupts, uncached I/O and DMA-dependent
-// reads alongside shared-memory work.
+// reads alongside shared-memory work. It is the workload package's
+// pinned syskernel — the golden fixture and the serving smoke test
+// regenerate it by name, so the tests here must run the same bytes.
 func systemProgram(iters int) *isa.Program {
-	a := isa.NewAsm()
-	a.SetIntrVec("ih")
-	a.LockInit()
-	a.Ldi(1, 8)  // lock
-	a.Ldi(2, 16) // counter
-	a.Ldi(3, 0)  // i
-	a.Ldi(4, int64(iters))
-	a.Label("loop")
-	// Periodic uncached I/O: every 32 iterations.
-	a.Andi(5, 3, 31)
-	a.Bne(5, 10, "noio")
-	a.Iord(6, 2)
-	a.Ldi(7, 0x800)
-	a.Add(7, 7, 15)
-	a.St(7, 0, 6) // persist the I/O value (proc-indexed slot)
-	a.Label("noio")
-	// Read the DMA ring and fold it into private state.
-	a.Ldi(7, 0x900)
-	a.Ld(8, 7, 0)
-	a.Ldi(7, 0xa00)
-	a.Add(7, 7, 15)
-	a.Ld(9, 7, 0)
-	a.Add(9, 9, 8)
-	a.St(7, 0, 9)
-	// Locked counter.
-	a.Lock(1, 5, "l")
-	a.Ld(6, 2, 0)
-	a.Addi(6, 6, 1)
-	a.St(2, 0, 6)
-	a.Unlock(1)
-	a.Addi(3, 3, 1)
-	a.Blt(3, 4, "loop")
-	a.Halt()
-	// Interrupt handler: bump a per-proc counter in memory.
-	a.Label("ih")
-	a.Ldi(7, 0xb00)
-	a.Add(7, 7, 15)
-	a.Ld(8, 7, 0)
-	a.Addi(8, 8, 1)
-	a.St(7, 0, 8)
-	a.Iret()
-	return a.Assemble()
+	return workload.SysKernelProgram(iters)
 }
 
 func record(t *testing.T, cfg sim.Config, mode Mode, progs []*isa.Program, devs *device.Devices, opts RecordOptions) (*Recording, *mem.Memory) {

@@ -353,9 +353,16 @@ func readFrame(d *reader) (rawFrame, error) {
 }
 
 // applyFrame decodes one frame's payload into the recording. Frames must
-// arrive in canonical order: per-kind shard indices are contiguous, which
-// also rejects duplicates.
+// arrive in canonical order: kinds are non-decreasing across the stream
+// and per-kind shard indices are contiguous, which also rejects
+// duplicates. Both halves matter — shard contiguity alone would accept a
+// stream whose whole sections were reordered (finishV4 only checks
+// section completeness).
 func (r *Recording) applyFrame(f rawFrame, seen *frameProgress) error {
+	if f.kind < seen.lastKind {
+		return corrupt("frame kind %d after kind %d: sections out of canonical order", f.kind, seen.lastKind)
+	}
+	seen.lastKind = f.kind
 	raw, err := decodeFramePayload(f.enc, f.crc, f.body)
 	if err != nil {
 		return err
@@ -550,11 +557,14 @@ func validateEndFrame(f rawFrame) error {
 	return nil
 }
 
-// frameProgress tracks which singleton frames have been decoded.
+// frameProgress tracks which singleton frames have been decoded and the
+// highest frame kind applied so far (kinds must be non-decreasing in
+// stream order).
 type frameProgress struct {
-	initMem bool
-	dma     bool
-	slots   bool
+	initMem  bool
+	dma      bool
+	slots    bool
+	lastKind uint8
 }
 
 // finishV4 validates section completeness once the end frame arrives.
@@ -603,6 +613,9 @@ func (r *Recording) readV4(d *reader, workers int) error {
 			if err := r.applyFrame(f, seen); err != nil {
 				return err
 			}
+		}
+		if err := expectStreamEnd(d); err != nil {
+			return err
 		}
 		return r.finishV4(seen)
 	}
@@ -673,5 +686,21 @@ func (r *Recording) readV4(d *reader, workers int) error {
 	if !done {
 		return corrupt("recording has no end frame")
 	}
+	// The reader goroutine has exited (futures is closed), so d is safe
+	// to touch again from this goroutine.
+	if err := expectStreamEnd(d); err != nil {
+		return err
+	}
 	return r.finishV4(seen)
+}
+
+// expectStreamEnd rejects bytes after the end frame. Without it, frames
+// spliced in behind the terminator — say a whole section transposed past
+// it — would be silently ignored rather than rejected as corruption.
+func expectStreamEnd(d *reader) error {
+	var b [1]byte
+	if n, _ := io.ReadFull(d.r, b[:]); n != 0 {
+		return corrupt("trailing data after end frame")
+	}
+	return nil
 }

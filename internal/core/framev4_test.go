@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -185,6 +186,125 @@ func TestV4RejectsTruncation(t *testing.T) {
 		if _, err := ReadRecordingParallel(bytes.NewReader(full[:len(full)-1]), workers); err == nil {
 			t.Fatalf("dropping the final byte accepted (workers=%d)", workers)
 		}
+	}
+}
+
+// v4Frame is one parsed wire frame: its kind and shard plus the full
+// byte span (header and payload) from the original stream.
+type v4Frame struct {
+	kind  uint8
+	shard uint32
+	raw   []byte
+}
+
+// parseV4Frames splits a v4 stream into the common header and the frame
+// sequence (end frame included) by walking the frame headers — CRCs stay
+// intact, so reassembled streams differ from the original only in frame
+// arrangement.
+func parseV4Frames(t *testing.T, full []byte, nprocs int) ([]byte, []v4Frame) {
+	t.Helper()
+	off := v4CommonHeaderLen(nprocs)
+	header := full[:off]
+	var frames []v4Frame
+	for off < len(full) {
+		if off+frameHeaderLen > len(full) {
+			t.Fatalf("frame header at %d overruns the %d-byte stream", off, len(full))
+		}
+		plen := int(binary.LittleEndian.Uint32(full[off+6 : off+10]))
+		end := off + frameHeaderLen + plen
+		if end > len(full) {
+			t.Fatalf("frame at %d claims %d payload bytes past the end", off, plen)
+		}
+		frames = append(frames, v4Frame{
+			kind:  full[off],
+			shard: binary.LittleEndian.Uint32(full[off+1 : off+5]),
+			raw:   full[off:end],
+		})
+		off = end
+	}
+	return header, frames
+}
+
+// spliceV4 reassembles a stream from a header and a frame arrangement.
+func spliceV4(header []byte, frames []v4Frame) []byte {
+	out := append([]byte(nil), header...)
+	for _, f := range frames {
+		out = append(out, f.raw...)
+	}
+	return out
+}
+
+// TestV4RejectsDuplicateShard: replaying any frame a second time —
+// singleton kinds and per-processor/per-checkpoint shards alike — must
+// surface as ErrCorruptLog in both readers. Every frame is individually
+// CRC-clean, so only the duplicate checks and shard-contiguity checks
+// stand between a spliced stream and silent acceptance.
+func TestV4RejectsDuplicateShard(t *testing.T) {
+	rec, _, _ := fullFatV4Recording(t, OrderOnly)
+	var wire bytes.Buffer
+	if _, err := rec.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	header, frames := parseV4Frames(t, wire.Bytes(), rec.NProcs)
+	if len(frames) < 3 {
+		t.Fatalf("recording serialized to only %d frames", len(frames))
+	}
+	// Sanity: the unmodified arrangement still loads.
+	if _, err := ReadRecording(bytes.NewReader(spliceV4(header, frames))); err != nil {
+		t.Fatalf("reassembled stream does not load: %v", err)
+	}
+	for i, f := range frames[:len(frames)-1] { // the end frame terminates reading
+		mut := append(append([]v4Frame(nil), frames[:i+1]...), frames[i:]...)
+		for _, workers := range []int{1, 4} {
+			_, err := ReadRecordingParallel(bytes.NewReader(spliceV4(header, mut)), workers)
+			if err == nil {
+				t.Fatalf("duplicated frame %d (kind %d shard %d) accepted (workers=%d)",
+					i, f.kind, f.shard, workers)
+			}
+			if !errors.Is(err, ErrCorruptLog) {
+				t.Fatalf("duplicated frame %d (kind %d shard %d, workers=%d): error %v is not ErrCorruptLog",
+					i, f.kind, f.shard, workers, err)
+			}
+		}
+	}
+}
+
+// TestV4RejectsOutOfOrderKinds: transposing adjacent frames of different
+// kinds breaks the canonical section order and must surface as
+// ErrCorruptLog. This is the gap shard contiguity alone leaves open:
+// whole singleton sections (say DMA and Slots) can trade places with
+// every per-kind check still passing, and finishV4 only verifies section
+// presence — only the non-decreasing-kind check catches it.
+func TestV4RejectsOutOfOrderKinds(t *testing.T) {
+	rec, _, _ := fullFatV4Recording(t, OrderOnly)
+	var wire bytes.Buffer
+	if _, err := rec.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	header, frames := parseV4Frames(t, wire.Bytes(), rec.NProcs)
+	swaps := 0
+	for i := 0; i+1 < len(frames); i++ {
+		a, b := frames[i], frames[i+1]
+		if a.kind == b.kind {
+			continue
+		}
+		swaps++
+		mut := append([]v4Frame(nil), frames...)
+		mut[i], mut[i+1] = b, a
+		for _, workers := range []int{1, 4} {
+			_, err := ReadRecordingParallel(bytes.NewReader(spliceV4(header, mut)), workers)
+			if err == nil {
+				t.Fatalf("kinds %d and %d transposed at frame %d accepted (workers=%d)",
+					a.kind, b.kind, i, workers)
+			}
+			if !errors.Is(err, ErrCorruptLog) {
+				t.Fatalf("kinds %d and %d transposed at frame %d (workers=%d): error %v is not ErrCorruptLog",
+					a.kind, b.kind, i, workers, err)
+			}
+		}
+	}
+	if swaps == 0 {
+		t.Fatal("no adjacent different-kind frame pairs to transpose")
 	}
 }
 

@@ -133,8 +133,14 @@ func ReplayFromCheckpoint(rec *Recording, idx int, cfg sim.Config, progs []*isa.
 		Trace:          opts.Trace,
 		Resume:         &bulksc.Resume{Procs: cp.Procs, BaseCommits: cp.Slot},
 	}
+	if opts.Ctx != nil {
+		eng.Cancel = opts.Ctx.Done()
+	}
 	st := eng.Run()
 	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}
+	if st.Cancelled {
+		return res, cancelledErr("interval replay", opts.Ctx)
+	}
 	if !st.Converged {
 		derr := rec.stallError(obs, st, cfg.MaxInstsOrDefault(), cp.Slot)
 		noteDivergence(opts.Trace, st.Cycles, derr)

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"delorean/internal/arbiter"
 	"delorean/internal/bulksc"
 	"delorean/internal/device"
@@ -38,6 +41,12 @@ type RecordOptions struct {
 	// it to the returned Recording. Observation-only: the recording is
 	// byte-identical with tracing on or off.
 	Trace *trace.Sink
+	// Ctx, when non-nil, cancels the recording run: once the context is
+	// done the engine stops within a bounded number of scheduler steps
+	// and Record returns the context's error (wrapped, so
+	// errors.Is(err, context.Canceled) holds) — never a convergence
+	// failure. The partial Recording is discarded.
+	Ctx context.Context
 }
 
 // recorder turns the engine's commit stream into a Recording. It
@@ -239,9 +248,15 @@ func Record(cfg sim.Config, mode Mode, progs []*isa.Program, memory *mem.Memory,
 		eng.CheckpointEvery = opts.CheckpointEvery
 		eng.OnCheckpoint = r.onCheckpoint
 	}
+	if opts.Ctx != nil {
+		eng.Cancel = opts.Ctx.Done()
+	}
 	rec.Stats = eng.Run()
 	rec.Sched = eng.WindowStats()
 	rec.Trace = opts.Trace
+	if rec.Stats.Cancelled {
+		return nil, cancelledErr("record", opts.Ctx)
+	}
 	if !rec.Stats.Converged {
 		return rec, errNotConverged
 	}
@@ -265,3 +280,18 @@ func (e recErr) Error() string { return string(e) }
 // errNotConverged reports that the run hit its instruction budget before
 // all threads halted.
 const errNotConverged = recErr("core: execution did not converge within the instruction budget")
+
+// cancelledErr wraps a done context's error for a run the engine
+// abandoned on its Cancel channel, so callers observe
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) rather than a
+// bogus divergence or convergence failure.
+func cancelledErr(what string, ctx context.Context) error {
+	err := ctx.Err()
+	if err == nil {
+		// The engine only latches cancellation off ctx.Done(), which
+		// closes strictly after Err becomes non-nil; this is unreachable
+		// but keeps the wrapper total.
+		err = context.Canceled
+	}
+	return fmt.Errorf("core: %s cancelled: %w", what, err)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -309,6 +310,12 @@ type ReplayOptions struct {
 	// Divergence event locating the first detected divergence if the
 	// replay fails to reproduce the recording. Observation-only.
 	Trace *trace.Sink
+	// Ctx, when non-nil, cancels the replay run: once the context is done
+	// the engine (and, for segmented replay, every interval worker) stops
+	// within a bounded number of scheduler steps and Replay returns the
+	// context's error (wrapped, so errors.Is(err, context.Canceled)
+	// holds) — never a DivergenceError.
+	Ctx context.Context
 }
 
 // Replay re-executes progs deterministically from rec. cfg should
@@ -381,8 +388,14 @@ func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOpt
 		Parallel:       opts.Parallel,
 		Trace:          opts.Trace,
 	}
+	if opts.Ctx != nil {
+		eng.Cancel = opts.Ctx.Done()
+	}
 	st := eng.Run()
 	res := ReplayResult{Stats: st, Fingerprint: obs.fp.sum(), MemHash: memory.Hash()}
+	if st.Cancelled {
+		return res, cancelledErr("replay", opts.Ctx)
+	}
 	if !st.Converged {
 		derr := rec.stallError(obs, st, cfg.MaxInstsOrDefault(), 0)
 		noteDivergence(opts.Trace, st.Cycles, derr)

@@ -68,6 +68,14 @@ func replaySegmented(rec *Recording, cfg sim.Config, progs []*isa.Program, opts 
 	cfgRef := cfg
 	geom := segGeom{cfg.NProcs, cfg.L1Bytes, cfg.L1Ways, cfg.L2Bytes, cfg.L2Ways}
 	outs, _ := runner.Map(opts.ReplayParallel, k+1, func(i int) (segOut, error) {
+		// Queued intervals behind a cancellation return fast without
+		// touching an engine; running ones stop via Engine.Cancel inside
+		// replayInterval. Either way the interval reports the context's
+		// error, and error selection below still picks the earliest
+		// interval's.
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return segOut{err: cancelledErr("segmented replay", opts.Ctx)}, nil
+		}
 		s, _ := segPool.Get().(*segScratch)
 		if s == nil || s.geom != geom {
 			s = &segScratch{geom: geom, ms: sim.NewMemSys(&cfgRef), mem: mem.New()}
@@ -280,7 +288,16 @@ func replayInterval(rec *Recording, cfg sim.Config, progs []*isa.Program, opts R
 		StopAtCommit:   stopSlot,
 		MS:             s.ms,
 	}
+	if opts.Ctx != nil {
+		eng.Cancel = opts.Ctx.Done()
+	}
 	st := eng.Run()
+	if st.Cancelled {
+		// Scratch state stays pool-safe: memRec/memAt were already marked
+		// unknown above, and MemSys/Memory reset on the next reuse.
+		out.err = cancelledErr("segmented replay", opts.Ctx)
+		return out
+	}
 
 	// Rebuild the interval's I/O chains from the log's recorded
 	// consumption ranges (see replayObserver.ioByLog): an interval is

@@ -1,6 +1,10 @@
 package metrics
 
-import "sort"
+import (
+	"fmt"
+	"io"
+	"sort"
+)
 
 // Counter is one named metric sample.
 type Counter struct {
@@ -66,6 +70,20 @@ func (r *Registry) Snapshot() []Counter {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// style — one "name value" line per counter, sorted by name — the
+// /metrics wire format of the serving daemon. Counter names here are
+// already dot-separated identifiers without spaces; they pass through
+// unescaped.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, c := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %v\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table renders the registry as an aligned two-column table.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -74,5 +75,37 @@ func TestRegistryNilSafety(t *testing.T) {
 	r.Set("x", 1)
 	if r.Get("x") != 0 || r.Len() != 0 || r.Snapshot() != nil {
 		t.Errorf("nil registry not inert")
+	}
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry WriteText = (%q, %v), want empty", buf.String(), err)
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Set("replay.count", 3)
+	r.Set("record.cycles", 1234.5)
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := "record.cycles 1234.5\nreplay.count 3\n"
+	if buf.String() != want {
+		t.Errorf("WriteText = %q, want %q", buf.String(), want)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errShort }
+
+var errShort = errors.New("short write")
+
+func TestRegistryWriteTextPropagatesError(t *testing.T) {
+	r := NewRegistry()
+	r.Set("x", 1)
+	if err := r.WriteText(failWriter{}); !errors.Is(err, errShort) {
+		t.Errorf("WriteText error = %v, want errShort", err)
 	}
 }

@@ -1,0 +1,71 @@
+package runner
+
+import "sync"
+
+// Pool is a bounded long-lived job queue: a fixed set of worker
+// goroutines draining a fixed-depth channel. Where Map fans out one
+// batch and joins it, Pool serves an open-ended stream of independent
+// jobs (the serving daemon's request executor) with two hard bounds —
+// concurrency (workers) and backlog (depth) — so load beyond both is
+// refused at submit time instead of queuing without limit.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool of Workers(workers) goroutines behind a queue
+// holding up to depth waiting jobs (minimum 1).
+func NewPool(workers, depth int) *Pool {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{jobs: make(chan func(), depth)}
+	n := Workers(workers)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues job unless the queue is full or the pool is
+// draining, reporting whether it was accepted. It never blocks — the
+// caller turns a refusal into backpressure (the server's 429).
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Queued reports the number of jobs accepted but not yet picked up by a
+// worker.
+func (p *Pool) Queued() int { return len(p.jobs) }
+
+// Drain stops accepting jobs, runs everything already queued, and waits
+// for in-flight jobs to finish. Safe to call once; further TrySubmit
+// calls return false forever.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverythingSubmitted(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("submit %d refused with queue depth 64", i)
+		}
+	}
+	p.Drain()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("ran %d of 50 jobs", got)
+	}
+}
+
+// TestPoolRefusesWhenFull: with every worker parked and the queue
+// packed, TrySubmit must refuse instead of blocking — the server's
+// queue-full backpressure path.
+func TestPoolRefusesWhenFull(t *testing.T) {
+	const workers, depth = 2, 3
+	p := NewPool(workers, depth)
+	block := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(workers)
+	for i := 0; i < workers; i++ {
+		if !p.TrySubmit(func() { started.Done(); <-block }) {
+			t.Fatal("blocking job refused by idle pool")
+		}
+	}
+	started.Wait() // workers now parked; the queue is empty
+	for i := 0; i < depth; i++ {
+		if !p.TrySubmit(func() {}) {
+			t.Fatalf("fill job %d refused with %d queued of %d", i, p.Queued(), depth)
+		}
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit accepted beyond queue depth")
+	}
+	if got := p.Queued(); got != depth {
+		t.Fatalf("Queued() = %d, want %d", got, depth)
+	}
+	close(block)
+	p.Drain()
+	if p.Queued() != 0 {
+		t.Fatalf("Queued() = %d after Drain", p.Queued())
+	}
+}
+
+// TestPoolDrainRunsBacklogThenRefuses: Drain must complete the accepted
+// backlog (a request already accepted gets its verdict) and make every
+// later submit fail.
+func TestPoolDrainRunsBacklogThenRefuses(t *testing.T) {
+	p := NewPool(1, 16)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.TrySubmit(func() { close(started); <-block })
+	<-started
+	var ran atomic.Int64
+	for i := 0; i < 5; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("backlog job %d refused", i)
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.Drain(); close(done) }()
+	close(block)
+	<-done
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("Drain completed %d of 5 backlog jobs", got)
+	}
+	if p.TrySubmit(func() { t.Error("job ran after Drain") }) {
+		t.Fatal("submit accepted after Drain")
+	}
+	p.Drain() // idempotent
+}
+
+func TestPoolConcurrentSubmitAndDrain(t *testing.T) {
+	p := NewPool(4, 128)
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if p.TrySubmit(func() { ran.Add(1) }) {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Drain()
+	if accepted.Load() != ran.Load() {
+		t.Fatalf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
+	}
+}

@@ -1,0 +1,582 @@
+// Package server is the record/replay daemon: an HTTP facade over the
+// public delorean API. Recordings live in a content-addressed store
+// (in-memory, write-through to disk); simulation work — recording from
+// a workload spec, replay verification, traced replay for the Perfetto
+// export — runs on a bounded worker pool with per-request deadlines, so
+// load beyond the queue is refused with 429 instead of piling up, and a
+// cancelled or expired request stops its engine within a chunk window.
+//
+//	POST /v1/recordings              upload a container (?workload=&procs=&scale=&seed=)
+//	POST /v1/recordings              record from a JSON spec (Content-Type: application/json)
+//	GET  /v1/recordings              list stored ids
+//	GET  /v1/recordings/{id}         describe one recording
+//	POST /v1/recordings/{id}/replay  replay, returning the verdict
+//	GET  /v1/recordings/{id}/trace   replay with tracing, streaming Perfetto JSON
+//	GET  /metrics                    counter snapshot, one "name value" per line
+//	GET  /healthz                    liveness probe
+//
+// Every error response is the same JSON shape:
+//
+//	{"error": {"code": "corrupt_log", "message": "..."}}
+//
+// with codes bad_request (400), not_found (404), payload_too_large
+// (413), corrupt_log (422), queue_full (429), internal (500), and
+// deadline_exceeded (504).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"delorean"
+	"delorean/internal/core"
+	"delorean/internal/metrics"
+	"delorean/internal/runner"
+)
+
+// Config tunes a Server. The zero value is usable: no disk store, host
+// defaults for workers, and the documented default caps.
+type Config struct {
+	// Dir, when non-empty, is the write-through store directory; existing
+	// recordings under it are loaded at New time.
+	Dir string
+	// Workers is the simulation pool size (0: host default).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 16).
+	QueueDepth int
+	// MaxUploadBytes caps a recording upload's body (default 64 MiB).
+	MaxUploadBytes int64
+	// RequestTimeout bounds each simulation request (default 2 minutes;
+	// negative: no deadline).
+	RequestTimeout time.Duration
+	// LoadWorkers is the container decode/encode worker count
+	// (0: host default).
+	LoadWorkers int
+}
+
+const (
+	defaultQueueDepth  = 16
+	defaultUploadCap   = 64 << 20
+	defaultReqTimeout  = 2 * time.Minute
+	maxRecordSpecBytes = 1 << 20
+)
+
+// Server is the daemon. Create with New, serve via http.Server, then
+// Drain on shutdown (after http.Server.Shutdown has returned, so no
+// handler still needs the pool).
+type Server struct {
+	cfg   Config
+	store *store
+	pool  *runner.Pool
+	mux   *http.ServeMux
+
+	// reg collects serving counters. metrics.Registry is not
+	// goroutine-safe; mu serializes handler access.
+	mu  sync.Mutex
+	reg *metrics.Registry
+}
+
+// New builds a Server and loads any recordings persisted under
+// cfg.Dir. Load errors of individual cache entries are reported on the
+// "store.load_errors" counter rather than failing startup.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = defaultUploadCap
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = defaultReqTimeout
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: newStore(cfg.Dir),
+		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth),
+		mux:   http.NewServeMux(),
+		reg:   metrics.NewRegistry(),
+	}
+	for _, err := range s.store.loadDir(cfg.LoadWorkers) {
+		s.count("store.load_errors", 1)
+		_ = err
+	}
+	s.count("store.recordings", float64(len(s.store.ids())))
+	s.mux.HandleFunc("POST /v1/recordings", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/recordings", s.handleList)
+	s.mux.HandleFunc("GET /v1/recordings/{id}", s.handleDescribe)
+	s.mux.HandleFunc("POST /v1/recordings/{id}/replay", s.handleReplay)
+	s.mux.HandleFunc("GET /v1/recordings/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops the simulation pool after completing accepted jobs. Call
+// after http.Server.Shutdown so no in-flight handler is still waiting
+// on the pool.
+func (s *Server) Drain() { s.pool.Drain() }
+
+func (s *Server) count(name string, d float64) {
+	s.mu.Lock()
+	s.reg.Add(name, d)
+	s.mu.Unlock()
+}
+
+// --- error model ---
+
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// classify maps any handler error onto the stable wire taxonomy.
+func classify(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return errf(http.StatusRequestEntityTooLarge, "payload_too_large",
+			"request body exceeds %d bytes", tooBig.Limit)
+	case errors.Is(err, core.ErrCorruptLog):
+		return errf(http.StatusUnprocessableEntity, "corrupt_log", "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return errf(http.StatusGatewayTimeout, "deadline_exceeded", "%v", err)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is written into the void but
+		// keeps logs and tests honest. 499 is nginx's convention.
+		return &apiError{status: 499, code: "client_closed_request", msg: err.Error()}
+	default:
+		return errf(http.StatusInternalServerError, "internal", "%v", err)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	ae := classify(err)
+	s.count("errors."+ae.code, 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": ae.code, "message": ae.msg},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// --- job scheduling ---
+
+// submit runs fn on the simulation pool and waits for it. The wait is
+// unconditional even when ctx expires first: fn observes ctx through
+// the engine's cancellation and returns within a chunk window, and
+// never outliving the handler is what keeps Shutdown+Drain clean.
+func (s *Server) submit(fn func()) error {
+	done := make(chan struct{})
+	if !s.pool.TrySubmit(func() { defer close(done); fn() }) {
+		s.count("queue.refused", 1)
+		return errf(http.StatusTooManyRequests, "queue_full",
+			"simulation queue is full (%d queued); retry later", s.pool.Queued())
+	}
+	<-done
+	return nil
+}
+
+// reqCtx applies the per-request deadline.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// --- wire types ---
+
+type statsJSON struct {
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	Chunks       uint64 `json:"chunks"`
+	Squashes     uint64 `json:"squashes"`
+	Interrupts   uint64 `json:"interrupts"`
+	IOOps        uint64 `json:"io_ops"`
+	DMAs         uint64 `json:"dmas"`
+}
+
+func toStatsJSON(st delorean.ExecStats) statsJSON {
+	return statsJSON{Cycles: st.Cycles, Instructions: st.Instructions, Chunks: st.Chunks,
+		Squashes: st.Squashes, Interrupts: st.Interrupts, IOOps: st.IOOps, DMAs: st.DMAs}
+}
+
+type recordingJSON struct {
+	ID          string    `json:"id"`
+	Spec        Spec      `json:"spec"`
+	Mode        string    `json:"mode"`
+	Checkpoints int       `json:"checkpoints"`
+	LogBits     int       `json:"log_bits_compressed"`
+	SizeBytes   int       `json:"size_bytes"`
+	Stats       statsJSON `json:"stats"`
+}
+
+func describe(e *entry) recordingJSON {
+	return recordingJSON{
+		ID:          e.id,
+		Spec:        e.spec,
+		Mode:        e.rec.Mode().String(),
+		Checkpoints: e.rec.Checkpoints(),
+		LogBits:     e.rec.LogBits(true),
+		SizeBytes:   len(e.data),
+		Stats:       toStatsJSON(e.rec.Stats()),
+	}
+}
+
+type divergenceJSON struct {
+	Kind     string `json:"kind"`
+	Slot     int64  `json:"slot"`
+	Proc     int    `json:"proc"`
+	SeqID    int64  `json:"seq_id"`
+	Interval int    `json:"interval"`
+	Detail   string `json:"detail"`
+}
+
+type verdictJSON struct {
+	ID                string          `json:"id"`
+	Deterministic     bool            `json:"deterministic"`
+	DivergentInterval int             `json:"divergent_interval"`
+	Divergence        *divergenceJSON `json:"divergence,omitempty"`
+	Stats             statsJSON       `json:"stats"`
+}
+
+func toVerdictJSON(id string, res delorean.ReplayResult) verdictJSON {
+	v := verdictJSON{
+		ID:                id,
+		Deterministic:     res.Deterministic,
+		DivergentInterval: res.DivergentInterval,
+		Stats:             toStatsJSON(res.Stats),
+	}
+	if d := res.Divergence; d != nil {
+		v.Divergence = &divergenceJSON{Kind: d.Kind, Slot: d.Slot, Proc: d.Proc,
+			SeqID: d.SeqID, Interval: d.Interval, Detail: d.Detail}
+	}
+	return v
+}
+
+// --- handlers ---
+
+// specFromQuery parses the upload identification parameters.
+func specFromQuery(r *http.Request) (Spec, error) {
+	q := r.URL.Query()
+	spec := Spec{Workload: q.Get("workload")}
+	if spec.Workload == "" {
+		return spec, errf(http.StatusBadRequest, "bad_request",
+			"upload requires ?workload=&procs=&scale= identifying the programs")
+	}
+	var err error
+	if spec.Procs, err = strconv.Atoi(q.Get("procs")); err != nil {
+		return spec, errf(http.StatusBadRequest, "bad_request", "bad procs: %v", err)
+	}
+	if spec.Scale, err = strconv.Atoi(q.Get("scale")); err != nil {
+		return spec, errf(http.StatusBadRequest, "bad_request", "bad scale: %v", err)
+	}
+	if v := q.Get("seed"); v != "" {
+		if spec.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return spec, errf(http.StatusBadRequest, "bad_request", "bad seed: %v", err)
+		}
+	}
+	if err := spec.validate(); err != nil {
+		return spec, errf(http.StatusBadRequest, "bad_request", "%v", err)
+	}
+	return spec, nil
+}
+
+// recordSpec is the record-from-spec request body.
+type recordSpec struct {
+	Spec
+	Mode            string `json:"mode"`
+	ChunkSize       int    `json:"chunk_size"`
+	CheckpointEvery uint64 `json:"checkpoint_every"`
+	Stratify        int    `json:"stratify"`
+	SimParallel     int    `json:"sim_parallel"`
+	MaxInstructions uint64 `json:"max_instructions"`
+}
+
+func parseMode(name string) (delorean.Mode, error) {
+	switch strings.ToLower(name) {
+	case "", "orderonly":
+		return delorean.OrderOnly, nil
+	case "ordersize", "order&size":
+		return delorean.OrderSize, nil
+	case "picolog":
+		return delorean.PicoLog, nil
+	}
+	return 0, errf(http.StatusBadRequest, "bad_request",
+		"unknown mode %q (ordersize | orderonly | picolog)", name)
+}
+
+// handleCreate stores a recording: either an uploaded container
+// (identified by workload query parameters) or a fresh recording made
+// from a JSON spec.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		s.handleRecord(w, r)
+		return
+	}
+	s.handleUpload(w, r)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	spec, err := specFromQuery(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	wl, err := spec.instantiate()
+	if err != nil {
+		s.fail(w, errf(http.StatusBadRequest, "bad_request", "%v", err))
+		return
+	}
+	var e *entry
+	var created bool
+	jobErr := s.submit(func() {
+		rec, lerr := delorean.LoadRecordingParallel(bytes.NewReader(body), delorean.Config{}, wl, s.cfg.LoadWorkers)
+		if lerr != nil {
+			err = lerr
+			return
+		}
+		canonical, cerr := canonicalize(rec, s.cfg.LoadWorkers)
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		var id string
+		id, created, err = s.store.put(rec, spec, canonical)
+		if err == nil {
+			e, _ = s.store.get(id)
+		}
+	})
+	if jobErr != nil {
+		s.fail(w, jobErr)
+		return
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.count("uploads", 1)
+	status := http.StatusOK
+	if created {
+		s.count("store.recordings", 1)
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, describe(e))
+}
+
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	var rs recordSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxRecordSpecBytes)).Decode(&rs); err != nil {
+		s.fail(w, errf(http.StatusBadRequest, "bad_request", "record spec: %v", err))
+		return
+	}
+	mode, err := parseMode(rs.Mode)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	wl, err := rs.Spec.instantiate()
+	if err != nil {
+		s.fail(w, errf(http.StatusBadRequest, "bad_request", "%v", err))
+		return
+	}
+	cfg := delorean.Config{
+		Processors:      rs.Procs,
+		ChunkSize:       rs.ChunkSize,
+		SimulChunks:     2,
+		Stratify:        rs.Stratify,
+		CheckpointEvery: rs.CheckpointEvery,
+		SimParallel:     rs.SimParallel,
+		MaxInstructions: rs.MaxInstructions,
+	}
+	if cfg.ChunkSize <= 0 {
+		if mode == delorean.PicoLog {
+			cfg.ChunkSize = 1000
+		} else {
+			cfg.ChunkSize = 2000
+		}
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	var e *entry
+	var created bool
+	jobErr := s.submit(func() {
+		rec, rerr := delorean.RecordContext(ctx, cfg, mode, wl)
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		canonical, cerr := canonicalize(rec, s.cfg.LoadWorkers)
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		var id string
+		id, created, err = s.store.put(rec, rs.Spec, canonical)
+		if err == nil {
+			e, _ = s.store.get(id)
+		}
+	})
+	if jobErr != nil {
+		s.fail(w, jobErr)
+		return
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.count("records", 1)
+	status := http.StatusOK
+	if created {
+		s.count("store.recordings", 1)
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, describe(e))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"recordings": s.store.ids()})
+}
+
+func (s *Server) lookup(r *http.Request) (*entry, error) {
+	id := r.PathValue("id")
+	e, ok := s.store.get(id)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "not_found", "no recording %q", id)
+	}
+	return e, nil
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	e, err := s.lookup(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, describe(e))
+}
+
+// replaySpec is the replay request body (an empty body replays
+// sequentially with clean timing).
+type replaySpec struct {
+	PerturbSeed   uint64 `json:"perturb_seed"`
+	UseStratified bool   `json:"use_stratified"`
+	Parallel      int    `json:"parallel"`
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	e, err := s.lookup(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var rs replaySpec
+	if r.ContentLength != 0 {
+		if derr := json.NewDecoder(io.LimitReader(r.Body, maxRecordSpecBytes)).Decode(&rs); derr != nil {
+			s.fail(w, errf(http.StatusBadRequest, "bad_request", "replay spec: %v", derr))
+			return
+		}
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	var res delorean.ReplayResult
+	jobErr := s.submit(func() {
+		res, err = e.rec.Replay(delorean.ReplayWith{
+			PerturbSeed:   rs.PerturbSeed,
+			UseStratified: rs.UseStratified,
+			Parallel:      rs.Parallel,
+			Ctx:           ctx,
+		})
+	})
+	if jobErr != nil {
+		s.fail(w, jobErr)
+		return
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.count("replays", 1)
+	if !res.Deterministic {
+		s.count("replays.divergent", 1)
+	}
+	// A divergence is a well-formed verdict, not a transport error: 200.
+	writeJSON(w, http.StatusOK, toVerdictJSON(e.id, res))
+}
+
+// handleTrace replays the recording with timeline capture and streams
+// the Perfetto (chrome trace_event) JSON. Loaded recordings carry no
+// trace of their original run, so the trace is always produced by a
+// fresh deterministic replay.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	e, err := s.lookup(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	var tr *delorean.ExecTrace
+	jobErr := s.submit(func() {
+		_, tr, err = e.rec.ReplayTraced(delorean.ReplayWith{Ctx: ctx})
+	})
+	if jobErr != nil {
+		s.fail(w, jobErr)
+		return
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.count("traces", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", e.id+".trace.json"))
+	if werr := tr.WritePerfetto(w); werr != nil {
+		// Headers are gone; all we can do is abort the stream.
+		s.count("errors.trace_stream", 1)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Set("queue.depth", float64(s.pool.Queued()))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.WriteText(w)
+}

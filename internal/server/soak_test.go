@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"delorean"
+)
+
+// soakSpec is the small recording the soak clients hammer;
+// soakBaseline builds the exact delorean.Config the server's record
+// handler derives from it, so the direct-API baseline is the same
+// execution bit for bit.
+var soakSpec = map[string]any{
+	"workload": goldenWorkload, "procs": 2, "scale": 120,
+	"mode": "orderonly", "chunk_size": 150, "checkpoint_every": 10,
+}
+
+func soakBaseline(t *testing.T) *delorean.Recording {
+	t.Helper()
+	cfg := delorean.Config{Processors: 2, ChunkSize: 150, SimulChunks: 2, CheckpointEvery: 10}
+	w := delorean.NewWorkload(goldenWorkload, 2, 120, 0)
+	rec, err := delorean.Record(cfg, delorean.OrderOnly, w)
+	if err != nil {
+		t.Fatalf("baseline record: %v", err)
+	}
+	return rec
+}
+
+// TestSoakConcurrentClients runs parallel clients mixing uploads,
+// replays, cancellations and metric reads against one server (run under
+// -race in CI). Every completed replay's verdict must be bit-identical
+// to a direct delorean.Replay of the same recording with the same
+// options — concurrency and cancellations must not perturb verdicts.
+func TestSoakConcurrentClients(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	golden := goldenBytes(t)
+
+	// Seed the store and compute the direct-API ground truth.
+	resp, body := doJSON(t, "POST", hs.URL+"/v1/recordings", soakSpec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed record: %d: %s", resp.StatusCode, body)
+	}
+	var recA recordingJSON
+	if err := json.Unmarshal(body, &recA); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = upload(t, hs.URL, goldenQuery, golden)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed upload: %d: %s", resp.StatusCode, body)
+	}
+	var recG recordingJSON
+	if err := json.Unmarshal(body, &recG); err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := []uint64{0, 17, 4242, 99999}
+	type key struct {
+		id   string
+		seed uint64
+	}
+	want := make(map[key]verdictJSON)
+	baseA := soakBaseline(t)
+	wG := delorean.NewWorkload(goldenWorkload, goldenProcs, goldenScale, 0)
+	baseG, err := delorean.LoadRecording(bytes.NewReader(golden), delorean.Config{}, wG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []struct {
+		id  string
+		rec *delorean.Recording
+	}{{recA.ID, baseA}, {recG.ID, baseG}} {
+		for _, seed := range seeds {
+			res, err := pair.rec.Replay(delorean.ReplayWith{PerturbSeed: seed})
+			if err != nil {
+				t.Fatalf("direct replay %s seed %d: %v", pair.id, seed, err)
+			}
+			want[key{pair.id, seed}] = toVerdictJSON(pair.id, res)
+		}
+	}
+
+	const clients, opsPerClient = 8, 15
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			for op := 0; op < opsPerClient; op++ {
+				switch rng.Intn(10) {
+				case 0: // duplicate upload: must dedup, never error
+					resp, body := upload(t, hs.URL, goldenQuery, golden)
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "dup upload", resp, body)
+						return
+					}
+				case 1: // duplicate record-from-spec
+					resp, body := doJSON(t, "POST", hs.URL+"/v1/recordings", soakSpec)
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "dup record", resp, body)
+						return
+					}
+				case 2, 3: // cancellation: a client that gives up mid-replay
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					req, _ := http.NewRequestWithContext(ctx, "POST",
+						hs.URL+"/v1/recordings/"+recG.ID+"/replay", strings.NewReader(`{"perturb_seed":17}`))
+					req.Header.Set("Content-Type", "application/json")
+					resp, err := http.DefaultClient.Do(req)
+					if err == nil {
+						resp.Body.Close()
+					}
+					cancel()
+				default: // replay and verify bit-identical verdict
+					id := recA.ID
+					base := recA
+					if rng.Intn(2) == 0 {
+						id, base = recG.ID, recG
+					}
+					seed := seeds[rng.Intn(len(seeds))]
+					resp, body := doJSON(t, "POST", hs.URL+"/v1/recordings/"+id+"/replay",
+						map[string]any{"perturb_seed": seed})
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "replay", resp, body)
+						return
+					}
+					var got verdictJSON
+					if err := json.Unmarshal(body, &got); err != nil {
+						errs <- err
+						return
+					}
+					exp := want[key{id, seed}]
+					if got != exp {
+						t.Errorf("client %d: verdict for %s seed %d differs from direct replay:\n got %+v\nwant %+v",
+							c, base.ID, seed, got, exp)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The server survived the storm: verdicts are still pristine and the
+	// store did not grow (everything deduplicated).
+	resp, body = doJSON(t, "POST", hs.URL+"/v1/recordings/"+recA.ID+"/replay",
+		map[string]any{"perturb_seed": seeds[1]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-soak replay: %d: %s", resp.StatusCode, body)
+	}
+	var got verdictJSON
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if exp := want[key{recA.ID, seeds[1]}]; got != exp {
+		t.Fatalf("post-soak verdict drifted:\n got %+v\nwant %+v", got, exp)
+	}
+	if n := len(s.store.ids()); n != 2 {
+		t.Fatalf("store grew to %d entries during soak, want 2", n)
+	}
+}
+
+func errJSON(t *testing.T, what string, resp *http.Response, body []byte) error {
+	t.Helper()
+	return &soakErr{what: what, status: resp.StatusCode, body: string(body)}
+}
+
+type soakErr struct {
+	what   string
+	status int
+	body   string
+}
+
+func (e *soakErr) Error() string {
+	return e.what + ": status " + http.StatusText(e.status) + ": " + e.body
+}

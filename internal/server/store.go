@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"delorean"
+	"delorean/internal/workload"
+)
+
+// Spec identifies the workload a recording was made from. Recordings do
+// not serialize programs — replay regenerates them from the spec — so
+// the spec is part of a stored recording's identity.
+type Spec struct {
+	Workload string `json:"workload"`
+	Procs    int    `json:"procs"`
+	Scale    int    `json:"scale"`
+	Seed     uint64 `json:"seed"`
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s procs=%d scale=%d seed=%d", s.Workload, s.Procs, s.Scale, s.Seed)
+}
+
+// validate rejects specs Get would panic on, plus unknown names, before
+// any workload generation runs.
+func (s Spec) validate() error {
+	if !workload.Known(s.Workload) {
+		return fmt.Errorf("unknown workload %q", s.Workload)
+	}
+	if s.Procs <= 0 || s.Scale <= 0 {
+		return fmt.Errorf("workload params must be positive: procs=%d scale=%d", s.Procs, s.Scale)
+	}
+	return nil
+}
+
+// instantiate regenerates the spec's programs (and device schedules).
+func (s Spec) instantiate() (*delorean.Workload, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return delorean.NewWorkload(s.Workload, s.Procs, s.Scale, s.Seed), nil
+}
+
+// entry is one stored recording: the decoded form for replay, the
+// canonical v4 bytes for re-download/hashing, and the spec that
+// regenerates its programs.
+type entry struct {
+	id   string
+	spec Spec
+	rec  *delorean.Recording
+	data []byte
+}
+
+// store is the content-addressed recording store: an in-memory map
+// keyed by sha256(spec || canonical v4 bytes), write-through to a
+// directory when one is configured (<id>.dlrn plus an <id>.json spec
+// sidecar), reloaded on startup. Identical uploads deduplicate to the
+// same id by construction.
+type store struct {
+	dir string
+
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+func newStore(dir string) *store { return &store{dir: dir, m: make(map[string]*entry)} }
+
+// specExt and dataExt are the sidecar/file extensions under dir.
+const (
+	dataExt = ".dlrn"
+	specExt = ".json"
+)
+
+// canonicalize re-encodes a recording to its canonical v4 byte form.
+// Uploads may arrive as any supported container version; addressing the
+// canonical bytes makes the id independent of the uploaded encoding.
+func canonicalize(rec *delorean.Recording, workers int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := rec.SaveParallel(&buf, workers); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func recordingID(spec Spec, canonical []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", spec)
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// put stores the recording, reporting its id and whether it was new.
+// The disk write happens outside the lock: the id addresses the
+// content, so two racing writers of the same id write identical bytes.
+func (st *store) put(rec *delorean.Recording, spec Spec, canonical []byte) (string, bool, error) {
+	id := recordingID(spec, canonical)
+	st.mu.Lock()
+	_, exists := st.m[id]
+	if !exists {
+		st.m[id] = &entry{id: id, spec: spec, rec: rec, data: canonical}
+	}
+	st.mu.Unlock()
+	if exists || st.dir == "" {
+		return id, !exists, nil
+	}
+	if err := st.persist(id, spec, canonical); err != nil {
+		return id, true, err
+	}
+	return id, true, nil
+}
+
+func (st *store) persist(id string, spec Spec, canonical []byte) error {
+	sp, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{{id + dataExt, canonical}, {id + specExt, sp}} {
+		path := filepath.Join(st.dir, f.name)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, f.data, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *store) get(id string) (*entry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.m[id]
+	return e, ok
+}
+
+// ids returns the stored recording ids, sorted.
+func (st *store) ids() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.m))
+	for id := range st.m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loadDir restores every <id>.dlrn/<id>.json pair under dir into the
+// in-memory map. Files that fail to decode are skipped with an error in
+// the returned slice — a damaged cache entry must not keep the server
+// from booting.
+func (st *store) loadDir(workers int) []error {
+	if st.dir == "" {
+		return nil
+	}
+	names, err := filepath.Glob(filepath.Join(st.dir, "*"+dataExt))
+	if err != nil {
+		return []error{err}
+	}
+	sort.Strings(names)
+	var errs []error
+	for _, name := range names {
+		id := strings.TrimSuffix(filepath.Base(name), dataExt)
+		if err := st.loadOne(id, workers); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", id, err))
+		}
+	}
+	return errs
+}
+
+func (st *store) loadOne(id string, workers int) error {
+	sp, err := os.ReadFile(filepath.Join(st.dir, id+specExt))
+	if err != nil {
+		return err
+	}
+	var spec Spec
+	if err := json.Unmarshal(sp, &spec); err != nil {
+		return fmt.Errorf("spec sidecar: %w", err)
+	}
+	w, err := spec.instantiate()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(st.dir, id+dataExt))
+	if err != nil {
+		return err
+	}
+	rec, err := delorean.LoadRecordingParallel(bytes.NewReader(data), delorean.Config{}, w, workers)
+	if err != nil {
+		return err
+	}
+	if got := recordingID(spec, data); got != id {
+		return fmt.Errorf("content hash %s does not match filename", got)
+	}
+	st.mu.Lock()
+	if _, exists := st.m[id]; !exists {
+		st.m[id] = &entry{id: id, spec: spec, rec: rec, data: data}
+	}
+	st.mu.Unlock()
+	return nil
+}

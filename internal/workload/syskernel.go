@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"delorean/internal/device"
+	"delorean/internal/isa"
+	"delorean/internal/rng"
+)
+
+// SysKernelProgram is the full-system smoke kernel: shared-memory work
+// under a lock, periodic uncached I/O, DMA-ring reads, and an interrupt
+// handler — every input-log kind in one small program. iters is the
+// loop trip count (unlike the generated kernels, the dynamic
+// instruction count is a fixed multiple of it).
+//
+// The assembly is pinned: the golden v3 fixture under
+// internal/core/testdata was recorded from exactly this program, so any
+// change here breaks byte-stability of saved recordings (the core
+// package's golden test will catch it).
+func SysKernelProgram(iters int) *isa.Program {
+	a := isa.NewAsm()
+	a.SetIntrVec("ih")
+	a.LockInit()
+	a.Ldi(1, 8)  // lock
+	a.Ldi(2, 16) // counter
+	a.Ldi(3, 0)  // i
+	a.Ldi(4, int64(iters))
+	a.Label("loop")
+	// Periodic uncached I/O: every 32 iterations.
+	a.Andi(5, 3, 31)
+	a.Bne(5, 10, "noio")
+	a.Iord(6, 2)
+	a.Ldi(7, 0x800)
+	a.Add(7, 7, 15)
+	a.St(7, 0, 6) // persist the I/O value (proc-indexed slot)
+	a.Label("noio")
+	// Read the DMA ring and fold it into private state.
+	a.Ldi(7, 0x900)
+	a.Ld(8, 7, 0)
+	a.Ldi(7, 0xa00)
+	a.Add(7, 7, 15)
+	a.Ld(9, 7, 0)
+	a.Add(9, 9, 8)
+	a.St(7, 0, 9)
+	// Locked counter.
+	a.Lock(1, 5, "l")
+	a.Ld(6, 2, 0)
+	a.Addi(6, 6, 1)
+	a.St(2, 0, 6)
+	a.Unlock(1)
+	a.Addi(3, 3, 1)
+	a.Blt(3, 4, "loop")
+	a.Halt()
+	// Interrupt handler: bump a per-proc counter in memory.
+	a.Label("ih")
+	a.Ldi(7, 0xb00)
+	a.Add(7, 7, 15)
+	a.Ld(8, 7, 0)
+	a.Addi(8, 8, 1)
+	a.St(7, 0, 8)
+	a.Iret()
+	return a.Assemble()
+}
+
+// genSysKernel builds the syskernel workload. Scale is the per-processor
+// loop trip count, not an instruction target — the program is the fixed
+// kernel SysKernelProgram pins, so callers that load a saved syskernel
+// recording regenerate identical programs from (procs, scale) alone.
+// Seed drives only the device schedules (interrupts and DMA traffic);
+// it never changes the programs.
+func genSysKernel(p Params) *Workload {
+	prog := SysKernelProgram(p.Scale)
+	devs := device.New(p.Seed ^ 0x5CE)
+	horizon := uint64(p.Scale) * 16_000
+	devs.GenerateInterrupts(rng.New(p.Seed^0x5CE).Fork(), p.NProcs, uint64(p.Scale)*30+512, horizon, 0.3)
+	devs.GenerateDMA(rng.New(p.Seed^0x3CE).Fork(), addrDMARing, 4, 8, uint64(p.Scale)*45+512, horizon)
+	return &Workload{Name: "syskernel", Progs: replicate(p, prog), Devs: devs}
+}
+
+// Known reports whether name is a registered workload — for callers
+// validating untrusted input, where Get's panic-on-unknown contract is
+// wrong.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
+}

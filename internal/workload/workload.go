@@ -99,6 +99,11 @@ var registry = map[string]generator{
 	"water-sp":  genWaterSP,
 	"sjbb2k":    genSJBB,
 	"sweb2005":  genSWeb,
+	// syskernel is the pinned full-system smoke kernel (see syskernel.go).
+	// Deliberately absent from Names(): it is a fixture/serving workload,
+	// not part of the paper's benchmark suite, so the experiment drivers
+	// never sweep it.
+	"syskernel": genSysKernel,
 }
 
 // SplashNames returns the SPLASH-2-like kernel names in the paper's

@@ -25,8 +25,10 @@ func TestRegistryComplete(t *testing.T) {
 	if len(SplashNames()) != 11 {
 		t.Fatalf("SplashNames() has %d entries, want 11", len(SplashNames()))
 	}
-	if len(All()) != 13 {
-		t.Fatalf("registry has %d entries, want 13", len(All()))
+	// The registry additionally holds syskernel, which Names() hides from
+	// the benchmark sweeps.
+	if len(All()) != 14 {
+		t.Fatalf("registry has %d entries, want 14", len(All()))
 	}
 	seen := map[string]bool{}
 	for _, n := range Names() {
@@ -34,6 +36,49 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("duplicate workload %q", n)
 		}
 		seen[n] = true
+	}
+	if seen["syskernel"] {
+		t.Fatal("syskernel leaked into Names(); the experiment sweeps would pick it up")
+	}
+	for _, n := range append(Names(), "syskernel") {
+		if !Known(n) {
+			t.Fatalf("Known(%q) = false for a registered workload", n)
+		}
+	}
+	if Known("quicksort") {
+		t.Fatal(`Known("quicksort") = true`)
+	}
+}
+
+// TestSysKernelPinned: syskernel's programs must be a pure function of
+// (procs, scale) — Seed moves only the device schedules — and must be
+// exactly SysKernelProgram(scale) replicated, because saved recordings
+// (the golden fixture, server uploads) regenerate programs from the
+// spec alone.
+func TestSysKernelPinned(t *testing.T) {
+	w := Get("syskernel", Params{NProcs: 4, Scale: 130, Seed: 7})
+	if len(w.Progs) != 4 {
+		t.Fatalf("%d programs, want 4", len(w.Progs))
+	}
+	ref := SysKernelProgram(130)
+	for p, prog := range w.Progs {
+		if len(prog.Insts) != len(ref.Insts) {
+			t.Fatalf("proc %d: program length %d, want %d", p, len(prog.Insts), len(ref.Insts))
+		}
+		for i := range prog.Insts {
+			if prog.Insts[i] != ref.Insts[i] {
+				t.Fatalf("proc %d instruction %d differs from SysKernelProgram", p, i)
+			}
+		}
+	}
+	if w.Devs == nil || len(w.Devs.Interrupts) == 0 || len(w.Devs.DMA) == 0 {
+		t.Fatal("syskernel has no device activity")
+	}
+	other := Get("syskernel", Params{NProcs: 4, Scale: 130, Seed: 99})
+	for i := range other.Progs[0].Insts {
+		if other.Progs[0].Insts[i] != ref.Insts[i] {
+			t.Fatalf("Seed changed instruction %d — programs must not depend on Seed", i)
+		}
 	}
 }
 

@@ -107,6 +107,7 @@ func (r *Recording) ReplayTraced(opts ReplayWith) (ReplayResult, *ExecTrace, err
 		Parallel:       r.cfg.SimParallel,
 		ReplayParallel: opts.Parallel,
 		Trace:          sink,
+		Ctx:            opts.Ctx,
 	}
 	if opts.PerturbSeed != 0 {
 		ro.Perturb = bulksc.DefaultPerturb(opts.PerturbSeed)
@@ -117,7 +118,7 @@ func (r *Recording) ReplayTraced(opts ReplayWith) (ReplayResult, *ExecTrace, err
 		var div *core.DivergenceError
 		if errors.As(err, &div) {
 			return ReplayResult{Deterministic: false, Stats: execStats(res.Stats),
-				DivergentInterval: div.Interval}, tr, nil
+				DivergentInterval: div.Interval, Divergence: divergenceInfo(div)}, tr, nil
 		}
 		return ReplayResult{}, nil, fmt.Errorf("delorean: replay: %w", err)
 	}
