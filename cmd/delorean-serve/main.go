@@ -14,6 +14,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +52,7 @@ func run(addr, dir string, workers, queue int, maxUpload int64, timeout time.Dur
 		QueueDepth:     queue,
 		MaxUploadBytes: maxUpload,
 		RequestTimeout: timeout,
+		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	if err != nil {
 		return err

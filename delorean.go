@@ -199,6 +199,15 @@ func execStats(st bulksc.Stats) ExecStats {
 
 // Recording is a captured execution: the memory-ordering and input logs
 // plus everything needed to replay.
+//
+// Concurrency contract: a Recording is immutable after construction and
+// safe for concurrent use. Replay, ReplayFromCheckpoint, ReplayTraced
+// and every read accessor may be called from multiple goroutines on the
+// same Recording at once — each replay materializes its own engine
+// state, and the only shared mutable structures behind the API (the
+// checkpoint materialization cache, the log-size memoization) carry
+// their own locks. Concurrent replays return the same verdicts, bit for
+// bit, as sequential ones.
 type Recording struct {
 	rec   *core.Recording
 	cfg   Config
@@ -360,6 +369,10 @@ func divergenceInfo(div *core.DivergenceError) *DivergenceInfo {
 
 // Replay re-executes the recording deterministically on the paper's
 // replay configuration (serial commit, 50-cycle arbitration).
+//
+// Replay is safe to call concurrently on the same Recording (see the
+// Recording concurrency contract); each call runs on private engine
+// state and reads the recording's logs through per-call cursors.
 func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
 	ro := core.ReplayOptions{
 		UseStratified:  opts.UseStratified,
@@ -416,6 +429,10 @@ func (r *Recording) Checkpoints() int { return len(r.rec.Checkpoints) }
 // I(n, m)): memory restores from the checkpoint, processors resume from
 // their saved chunk boundaries, and the log suffixes drive ordering and
 // inputs.
+//
+// Like Replay, it is safe to call concurrently on the same Recording;
+// the delta-checkpoint materialization cache it shares with segmented
+// replay is internally locked.
 func (r *Recording) ReplayFromCheckpoint(idx int, opts ReplayWith) (ReplayResult, error) {
 	ro := core.ReplayOptions{ExactConflicts: r.cfg.ExactConflicts, Parallel: r.cfg.SimParallel,
 		Ctx: opts.Ctx}
@@ -461,6 +478,12 @@ func LoadRecording(src io.Reader, cfg Config, w *Workload) (*Recording, error) {
 	return LoadRecordingParallel(src, cfg, w, 0)
 }
 
+// ErrWorkloadMismatch reports that a recording and the workload offered
+// for its replay disagree on shape (processor count). Load failures wrap
+// it so callers can distinguish "wrong workload parameters" — a caller
+// mistake — from a corrupt or truncated container.
+var ErrWorkloadMismatch = errors.New("workload does not match recording")
+
 // LoadRecordingParallel is LoadRecording with an explicit decode worker
 // count for v4 recordings (0: host default, 1: fully sequential).
 func LoadRecordingParallel(src io.Reader, cfg Config, w *Workload, workers int) (*Recording, error) {
@@ -469,7 +492,8 @@ func LoadRecordingParallel(src io.Reader, cfg Config, w *Workload, workers int) 
 		return nil, err
 	}
 	if len(w.Progs) != rec.NProcs {
-		return nil, fmt.Errorf("delorean: recording has %d processors, workload has %d", rec.NProcs, len(w.Progs))
+		return nil, fmt.Errorf("delorean: %w: recording has %d processors, workload has %d",
+			ErrWorkloadMismatch, rec.NProcs, len(w.Progs))
 	}
 	cfg.Processors = rec.NProcs
 	cfg.ChunkSize = rec.ChunkSize

@@ -2,6 +2,7 @@ package delorean
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -226,8 +227,14 @@ func TestLoadRecordingProcMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	w8 := NewWorkload("barnes", 8, 5000, 1)
-	if _, err := LoadRecording(&buf, smallConfig(), w8); err == nil {
+	_, err = LoadRecording(&buf, smallConfig(), w8)
+	if err == nil {
 		t.Fatal("processor-count mismatch accepted")
+	}
+	// The mismatch is a typed sentinel so callers (the serving daemon's
+	// 400 mapping) can tell a wrong spec from a corrupt container.
+	if !errors.Is(err, ErrWorkloadMismatch) {
+		t.Fatalf("mismatch error %v does not wrap ErrWorkloadMismatch", err)
 	}
 }
 

@@ -64,6 +64,12 @@ func (m Mode) String() string {
 // system checkpoint (initial memory), the memory-ordering log in the
 // chosen mode, the input logs, and a fingerprint for determinism
 // verification.
+//
+// All exported fields are written once (by the recorder or the loader)
+// and read-only thereafter; replay never mutates them. The one mutable
+// structure, the materialized-checkpoint LRU, is guarded by matMu. This
+// is what makes concurrent replays of one Recording safe — the public
+// API's concurrency contract (delorean.Recording) rests on it.
 type Recording struct {
 	Mode      Mode
 	NProcs    int

@@ -328,6 +328,10 @@ type ReplayOptions struct {
 // divergent per-core streams or final memory) returns the partial
 // ReplayResult together with a *DivergenceError locating the first
 // detected divergence.
+//
+// Replay only reads rec (see the Recording concurrency comment) and
+// builds all engine state per call, so concurrent replays of the same
+// recording are safe and produce identical verdicts.
 func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOptions) (ReplayResult, error) {
 	if err := rec.Validate(); err != nil {
 		return ReplayResult{}, err

@@ -51,6 +51,11 @@ type segOut struct {
 // replaySegmented replays a checkpointed recording as k+1 concurrent
 // interval replays on opts.ReplayParallel workers. The caller (Replay)
 // has already validated the recording and matched cfg/progs against it.
+//
+// Safe under concurrent replaySegmented calls on the same recording:
+// each segPool scratch is exclusively owned while checked out, the log
+// view holds per-call cursors over the read-only logs, and checkpoint
+// materialization goes through the recording's locked LRU.
 func replaySegmented(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOptions) (ReplayResult, error) {
 	k := len(rec.Checkpoints)
 	if err := validateCheckpointProcs(rec, progs); err != nil {

@@ -77,8 +77,20 @@ func (r *Registry) Snapshot() []Counter {
 // /metrics wire format of the serving daemon. Counter names here are
 // already dot-separated identifiers without spaces; they pass through
 // unescaped.
+//
+// Callers serializing access to a shared registry with a lock should
+// prefer Snapshot under the lock followed by WriteCounters outside it:
+// WriteText's writes block on the consumer, and a Registry lock held
+// across a slow network peer stalls every other registry user.
 func (r *Registry) WriteText(w io.Writer) error {
-	for _, c := range r.Snapshot() {
+	return WriteCounters(w, r.Snapshot())
+}
+
+// WriteCounters renders an already-taken snapshot in the WriteText wire
+// format. Splitting the snapshot from the write is what lets a serving
+// handler drop its registry lock before touching the network.
+func WriteCounters(w io.Writer, cs []Counter) error {
+	for _, c := range cs {
 		if _, err := fmt.Fprintf(w, "%s %v\n", c.Name, c.Value); err != nil {
 			return err
 		}

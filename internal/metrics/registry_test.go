@@ -109,3 +109,23 @@ func TestRegistryWriteTextPropagatesError(t *testing.T) {
 		t.Errorf("WriteText error = %v, want errShort", err)
 	}
 }
+
+// TestWriteCounters: the snapshot-then-write split renders exactly like
+// WriteText and propagates writer errors — the serving daemon uses it
+// to write /metrics after releasing its registry lock.
+func TestWriteCounters(t *testing.T) {
+	cs := []Counter{{Name: "a.b", Value: 2}, {Name: "c", Value: 0.5}}
+	var buf strings.Builder
+	if err := WriteCounters(&buf, cs); err != nil {
+		t.Fatalf("WriteCounters: %v", err)
+	}
+	if want := "a.b 2\nc 0.5\n"; buf.String() != want {
+		t.Errorf("WriteCounters = %q, want %q", buf.String(), want)
+	}
+	if err := WriteCounters(failWriter{}, cs); !errors.Is(err, errShort) {
+		t.Errorf("WriteCounters error = %v, want errShort", err)
+	}
+	if err := WriteCounters(&buf, nil); err != nil {
+		t.Errorf("WriteCounters(nil snapshot) = %v", err)
+	}
+}

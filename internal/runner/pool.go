@@ -1,6 +1,9 @@
 package runner
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is a bounded long-lived job queue: a fixed set of worker
 // goroutines draining a fixed-depth channel. Where Map fans out one
@@ -9,8 +12,9 @@ import "sync"
 // concurrency (workers) and backlog (depth) — so load beyond both is
 // refused at submit time instead of queuing without limit.
 type Pool struct {
-	jobs chan func()
-	wg   sync.WaitGroup
+	jobs    chan func()
+	wg      sync.WaitGroup
+	running atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -29,7 +33,9 @@ func NewPool(workers, depth int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
+				p.running.Add(1)
 				job()
+				p.running.Add(-1)
 			}
 		}()
 	}
@@ -56,6 +62,11 @@ func (p *Pool) TrySubmit(job func()) bool {
 // Queued reports the number of jobs accepted but not yet picked up by a
 // worker.
 func (p *Pool) Queued() int { return len(p.jobs) }
+
+// Running reports the number of jobs currently executing on a worker —
+// with Queued, the load signal behind the serving daemon's queue.*
+// metrics and its 429 backoff hints.
+func (p *Pool) Running() int { return int(p.running.Load()) }
 
 // Drain stops accepting jobs, runs everything already queued, and waits
 // for in-flight jobs to finish. Safe to call once; further TrySubmit

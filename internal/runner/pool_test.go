@@ -102,3 +102,31 @@ func TestPoolConcurrentSubmitAndDrain(t *testing.T) {
 		t.Fatalf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
 	}
 }
+
+// TestPoolRunning: Running tracks jobs currently on a worker — the
+// serving daemon's queue.running gauge — and returns to zero once they
+// finish.
+func TestPoolRunning(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, 8)
+	if got := p.Running(); got != 0 {
+		t.Fatalf("idle pool reports %d running", got)
+	}
+	block := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(workers)
+	for i := 0; i < workers; i++ {
+		if !p.TrySubmit(func() { started.Done(); <-block }) {
+			t.Fatalf("submit %d refused", i)
+		}
+	}
+	started.Wait()
+	if got := p.Running(); got != workers {
+		t.Fatalf("Running() = %d with %d workers parked on jobs", got, workers)
+	}
+	close(block)
+	p.Drain()
+	if got := p.Running(); got != 0 {
+		t.Fatalf("Running() = %d after Drain", got)
+	}
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// The request middleware stack. Every request — including /healthz and
+// /metrics — passes through, outermost first:
+//
+//	withRequestID   assign or adopt an X-Request-ID
+//	withAccessLog   one structured log line per completed request
+//	withRecovery    panic → 500 internal (when nothing was written yet)
+//
+// The stack is what makes the daemon's behavior under concurrent
+// traffic observable: every response carries an id a client can quote,
+// every request leaves a log line with its status and duration (a 499
+// line is a client that went away mid-request), and a handler bug
+// panicking under load degrades to one failed request instead of a
+// crashed process.
+
+// requestIDHeader is the inbound/outbound correlation header.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds an adopted inbound id so a hostile client
+// cannot stuff logs.
+const maxRequestIDLen = 64
+
+// newRequestID returns a fresh 16-hex-character id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; serve with a
+		// constant rather than take the daemon down over an id.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts an inbound id of reasonable length made of
+// header-safe characters; anything else is replaced with a fresh id.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return newRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return newRequestID()
+		}
+	}
+	return id
+}
+
+// statusWriter captures the status code and body size a handler
+// produced, so the access log and the recovery middleware know whether
+// (and how) the response was already committed.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush preserves streaming (the trace export) through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withRequestID adopts a well-formed inbound X-Request-ID (so a proxy's
+// id survives end to end) or assigns a fresh one, and reflects it on the
+// response before the handler runs.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(requestIDHeader))
+		r.Header.Set(requestIDHeader, id) // canonical for downstream middleware
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withAccessLog emits one structured line per completed request. A 499
+// status is a client that disconnected mid-request (the response went
+// into the void); it appears here and nowhere else, which is the point.
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", time.Since(start)),
+			slog.String("request_id", r.Header.Get(requestIDHeader)),
+		)
+	})
+}
+
+// withRecovery turns a handler panic into a logged 500 (when the
+// response is still uncommitted) instead of tearing the connection down
+// with it. http.ErrAbortHandler is net/http's sanctioned abort and is
+// re-raised untouched.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw, _ := w.(*statusWriter)
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.count("errors.panic", 1)
+			s.log.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("request_id", r.Header.Get(requestIDHeader)),
+				slog.Any("panic", p),
+				slog.String("stack", string(debug.Stack())),
+			)
+			if sw == nil || sw.status == 0 {
+				s.fail(w, errf(http.StatusInternalServerError, "internal", "internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// serveDirect drives the full middleware stack without a network: the
+// request and the response recorder stay on the test goroutine, so a
+// buffer-backed logger needs no locking.
+func serveDirect(s *Server, method, target string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, target, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// TestRequestID pins the correlation-id contract: a fresh id on every
+// response, a well-formed inbound id adopted verbatim, and a hostile
+// one replaced instead of echoed into logs.
+func TestRequestID(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	t.Run("assigned when absent", func(t *testing.T) {
+		w := serveDirect(s, "GET", "/healthz", nil)
+		id := w.Header().Get(requestIDHeader)
+		if len(id) != 16 {
+			t.Fatalf("assigned id %q, want 16 hex chars", id)
+		}
+		w2 := serveDirect(s, "GET", "/healthz", nil)
+		if w2.Header().Get(requestIDHeader) == id {
+			t.Fatal("two requests got the same assigned id")
+		}
+	})
+
+	t.Run("well-formed inbound id adopted", func(t *testing.T) {
+		w := serveDirect(s, "GET", "/healthz", map[string]string{requestIDHeader: "proxy-41.b_7"})
+		if got := w.Header().Get(requestIDHeader); got != "proxy-41.b_7" {
+			t.Fatalf("inbound id not adopted: got %q", got)
+		}
+	})
+
+	t.Run("hostile inbound id replaced", func(t *testing.T) {
+		for _, bad := range []string{
+			"evil\nInjected: header",
+			"spaces are out",
+			strings.Repeat("a", maxRequestIDLen+1),
+		} {
+			w := serveDirect(s, "GET", "/healthz", map[string]string{requestIDHeader: bad})
+			if got := w.Header().Get(requestIDHeader); got == bad || len(got) != 16 {
+				t.Fatalf("hostile id %q not replaced: got %q", bad, got)
+			}
+		}
+	})
+
+	t.Run("error responses carry the id too", func(t *testing.T) {
+		w := serveDirect(s, "GET", "/v1/recordings/nope", nil)
+		if w.Code != http.StatusNotFound || w.Header().Get(requestIDHeader) == "" {
+			t.Fatalf("status %d, id %q", w.Code, w.Header().Get(requestIDHeader))
+		}
+	})
+}
+
+// TestAccessLog: one structured line per completed request, carrying
+// method, path, status, and the request id.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := New(Config{Workers: 1, Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	w := serveDirect(s, "GET", "/v1/recordings/missing", map[string]string{requestIDHeader: "test-id-1"})
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d", w.Code)
+	}
+	var line struct {
+		Msg       string `json:"msg"`
+		Method    string `json:"method"`
+		Path      string `json:"path"`
+		Status    int    `json:"status"`
+		Bytes     int64  `json:"bytes"`
+		RequestID string `json:"request_id"`
+	}
+	dec := json.NewDecoder(&buf)
+	found := false
+	for dec.More() {
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("log is not JSON lines: %v", err)
+		}
+		if line.Msg == "request" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no access log line in %q", buf.String())
+	}
+	if line.Method != "GET" || line.Path != "/v1/recordings/missing" ||
+		line.Status != http.StatusNotFound || line.RequestID != "test-id-1" || line.Bytes == 0 {
+		t.Fatalf("access log line %+v", line)
+	}
+}
+
+// TestRecoveryPanic: a handler panic becomes a logged 500 in the wire
+// error model (plus an errors.panic counter tick) instead of a torn
+// connection, and http.ErrAbortHandler passes through untouched.
+func TestRecoveryPanic(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := New(Config{Workers: 1, Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	boom := http.HandlerFunc(func(http.ResponseWriter, *http.Request) { panic("boom") })
+	h := withRequestID(s.withAccessLog(s.withRecovery(boom)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/panic", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d", w.Code)
+	}
+	if code := errCode(t, w.Body.Bytes()); code != "internal" {
+		t.Fatalf("code %q", code)
+	}
+	s.mu.Lock()
+	panics := s.reg.Get("errors.panic")
+	s.mu.Unlock()
+	if panics != 1 {
+		t.Fatalf("errors.panic = %v, want 1", panics)
+	}
+	if !strings.Contains(buf.String(), "handler panic") || !strings.Contains(buf.String(), "boom") {
+		t.Fatalf("panic not logged:\n%s", buf.String())
+	}
+
+	abort := http.HandlerFunc(func(http.ResponseWriter, *http.Request) { panic(http.ErrAbortHandler) })
+	ha := withRequestID(s.withAccessLog(s.withRecovery(abort)))
+	func() {
+		defer func() {
+			if recover() != http.ErrAbortHandler {
+				t.Fatal("ErrAbortHandler was swallowed")
+			}
+		}()
+		ha.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/abort", nil))
+	}()
+}
+
+// blockingWriter stalls its first Write until released — a scraper that
+// connected and then stopped reading.
+type blockingWriter struct {
+	hdr     http.Header
+	release chan struct{}
+}
+
+func (b *blockingWriter) Header() http.Header { return b.hdr }
+func (b *blockingWriter) WriteHeader(int)     {}
+func (b *blockingWriter) Write(p []byte) (int, error) {
+	<-b.release
+	return len(p), nil
+}
+
+// TestMetricsSlowScraperDoesNotBlockCounters is the regression test for
+// the handleMetrics lock hazard: with a scraper wedged mid-response,
+// every other handler's count() must still complete — the registry lock
+// is released before the network write.
+func TestMetricsSlowScraperDoesNotBlockCounters(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	s.count("warmup", 1) // ensure the snapshot is non-empty so Write runs
+
+	bw := &blockingWriter{hdr: make(http.Header), release: make(chan struct{})}
+	wedged := make(chan struct{})
+	go func() {
+		defer close(wedged)
+		s.handleMetrics(bw, httptest.NewRequest("GET", "/metrics", nil))
+	}()
+
+	// The scraper is stalled inside Write. count() must not be.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.count("probe", 1)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("count() blocked behind a stalled /metrics scraper")
+	}
+	close(bw.release)
+	<-wedged
+}

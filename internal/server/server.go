@@ -15,13 +15,32 @@
 //	GET  /metrics                    counter snapshot, one "name value" per line
 //	GET  /healthz                    liveness probe
 //
+// Every request passes through a middleware stack (see middleware.go):
+// an X-Request-ID is adopted or assigned and reflected on the response,
+// one structured log line is emitted per completed request, and a
+// handler panic degrades to a logged 500 instead of a crashed process.
+//
 // Every error response is the same JSON shape:
 //
 //	{"error": {"code": "corrupt_log", "message": "..."}}
 //
 // with codes bad_request (400), not_found (404), payload_too_large
 // (413), corrupt_log (422), queue_full (429), internal (500), and
-// deadline_exceeded (504).
+// deadline_exceeded (504). Two more codes appear in logs and metrics
+// but are rarely seen by their client: client_closed_request (499,
+// nginx's convention) marks a request whose client disconnected before
+// the verdict — the status is written into a dead connection but keeps
+// the access log honest — and every queue_full response carries a
+// Retry-After header (whole seconds) so clients can implement jittered
+// backoff against an honest hint instead of guessing.
+//
+// Concurrency: handlers share only the store (internally locked), the
+// counter registry (guarded by Server.mu, never held across a network
+// write), and the simulation pool. Replay handlers call
+// delorean.Recording methods concurrently on shared *entry values;
+// that is safe by the Recording concurrency contract — replay is
+// reentrant, with per-call engine state — so two clients replaying the
+// same id proceed in parallel and get bit-identical verdicts.
 package server
 
 import (
@@ -31,6 +50,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -61,12 +82,21 @@ type Config struct {
 	// LoadWorkers is the container decode/encode worker count
 	// (0: host default).
 	LoadWorkers int
+	// RetryAfter is the backoff hint sent (rounded up to whole seconds)
+	// in the Retry-After header of every 429 (default 1s).
+	RetryAfter time.Duration
+	// Logger receives the structured request log and operational
+	// warnings (store load/persist failures, handler panics). Nil
+	// discards everything — tests stay quiet; deployments should pass a
+	// real logger (cmd/delorean-serve does).
+	Logger *slog.Logger
 }
 
 const (
 	defaultQueueDepth  = 16
 	defaultUploadCap   = 64 << 20
 	defaultReqTimeout  = 2 * time.Minute
+	defaultRetryAfter  = time.Second
 	maxRecordSpecBytes = 1 << 20
 )
 
@@ -78,16 +108,22 @@ type Server struct {
 	store *store
 	pool  *runner.Pool
 	mux   *http.ServeMux
+	h     http.Handler // mux behind the middleware stack
+	log   *slog.Logger
 
 	// reg collects serving counters. metrics.Registry is not
-	// goroutine-safe; mu serializes handler access.
+	// goroutine-safe; mu serializes handler access. The lock is only
+	// ever held for in-memory mutation or snapshotting — never across a
+	// network write (handleMetrics snapshots, releases, then writes), so
+	// a slow /metrics scraper cannot stall every handler's count().
 	mu  sync.Mutex
 	reg *metrics.Registry
 }
 
 // New builds a Server and loads any recordings persisted under
-// cfg.Dir. Load errors of individual cache entries are reported on the
-// "store.load_errors" counter rather than failing startup.
+// cfg.Dir. Load errors of individual cache entries are logged and
+// reported on the "store.load_errors" counter rather than failing
+// startup.
 func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = defaultQueueDepth
@@ -98,16 +134,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = defaultReqTimeout
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = defaultRetryAfter
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:   cfg,
 		store: newStore(cfg.Dir),
 		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth),
 		mux:   http.NewServeMux(),
+		log:   cfg.Logger,
 		reg:   metrics.NewRegistry(),
 	}
 	for _, err := range s.store.loadDir(cfg.LoadWorkers) {
 		s.count("store.load_errors", 1)
-		_ = err
+		s.log.Warn("store entry failed to load", "dir", cfg.Dir, "error", err)
 	}
 	s.count("store.recordings", float64(len(s.store.ids())))
 	s.mux.HandleFunc("POST /v1/recordings", s.handleCreate)
@@ -120,10 +163,11 @@ func New(cfg Config) (*Server, error) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
+	s.h = withRequestID(s.withAccessLog(s.withRecovery(s.mux)))
 	return s, nil
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
 
 // Drain stops the simulation pool after completing accepted jobs. Call
 // after http.Server.Shutdown so no in-flight handler is still waiting
@@ -161,6 +205,12 @@ func classify(err error) *apiError {
 	case errors.As(err, &tooBig):
 		return errf(http.StatusRequestEntityTooLarge, "payload_too_large",
 			"request body exceeds %d bytes", tooBig.Limit)
+	case errors.Is(err, delorean.ErrWorkloadMismatch):
+		// The uploaded container does not fit the ?workload=&procs= spec:
+		// a client mistake caught at upload time, not a server fault —
+		// storing it would only manufacture a spurious divergence at
+		// replay time.
+		return errf(http.StatusBadRequest, "bad_request", "%v", err)
 	case errors.Is(err, core.ErrCorruptLog):
 		return errf(http.StatusUnprocessableEntity, "corrupt_log", "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -177,6 +227,11 @@ func classify(err error) *apiError {
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	ae := classify(err)
 	s.count("errors."+ae.code, 1)
+	if ae.status == http.StatusTooManyRequests {
+		// Every 429 carries an honest backoff hint; clients add their own
+		// jitter on top.
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(ae.status)
 	json.NewEncoder(w).Encode(map[string]any{
@@ -215,6 +270,22 @@ func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	return context.WithCancel(r.Context())
 }
 
+// ctxReader fails reads once ctx is done, which is how the per-request
+// deadline reaches a container decode: LoadRecordingParallel pulls the
+// stream frame by frame, so cancellation lands within one frame rather
+// than after the whole 64 MiB container has been decoded.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
 // --- wire types ---
 
 type statsJSON struct {
@@ -233,13 +304,18 @@ func toStatsJSON(st delorean.ExecStats) statsJSON {
 }
 
 type recordingJSON struct {
-	ID          string    `json:"id"`
-	Spec        Spec      `json:"spec"`
-	Mode        string    `json:"mode"`
-	Checkpoints int       `json:"checkpoints"`
-	LogBits     int       `json:"log_bits_compressed"`
-	SizeBytes   int       `json:"size_bytes"`
-	Stats       statsJSON `json:"stats"`
+	ID          string `json:"id"`
+	Spec        Spec   `json:"spec"`
+	Mode        string `json:"mode"`
+	Checkpoints int    `json:"checkpoints"`
+	LogBits     int    `json:"log_bits_compressed"`
+	SizeBytes   int    `json:"size_bytes"`
+	// Persisted reports whether the recording is durably on disk: false
+	// on a memory-only store, and false when the write-through persist
+	// failed (the recording still serves replays but will not survive a
+	// restart — see store.put's degraded-persistence semantics).
+	Persisted bool      `json:"persisted"`
+	Stats     statsJSON `json:"stats"`
 }
 
 func describe(e *entry) recordingJSON {
@@ -250,6 +326,7 @@ func describe(e *entry) recordingJSON {
 		Checkpoints: e.rec.Checkpoints(),
 		LogBits:     e.rec.LogBits(true),
 		SizeBytes:   len(e.data),
+		Persisted:   e.persisted.Load(),
 		Stats:       toStatsJSON(e.rec.Stats()),
 	}
 }
@@ -364,12 +441,22 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, errf(http.StatusBadRequest, "bad_request", "%v", err))
 		return
 	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
 	var e *entry
 	var created bool
+	var persistErr error
 	jobErr := s.submit(func() {
-		rec, lerr := delorean.LoadRecordingParallel(bytes.NewReader(body), delorean.Config{}, wl, s.cfg.LoadWorkers)
+		rec, lerr := delorean.LoadRecordingParallel(ctxReader{ctx, bytes.NewReader(body)},
+			delorean.Config{}, wl, s.cfg.LoadWorkers)
 		if lerr != nil {
-			err = lerr
+			// A decode that died because the deadline expired mid-stream is
+			// a deadline, not corruption: the context error wins.
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			} else {
+				err = lerr
+			}
 			return
 		}
 		canonical, cerr := canonicalize(rec, s.cfg.LoadWorkers)
@@ -377,11 +464,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			err = cerr
 			return
 		}
-		var id string
-		id, created, err = s.store.put(rec, spec, canonical)
-		if err == nil {
-			e, _ = s.store.get(id)
+		if err = ctx.Err(); err != nil {
+			return
 		}
+		var id string
+		id, created, persistErr = s.store.put(rec, spec, canonical)
+		e, _ = s.store.get(id)
 	})
 	if jobErr != nil {
 		s.fail(w, jobErr)
@@ -391,6 +479,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.notePersist(persistErr, e)
 	s.count("uploads", 1)
 	status := http.StatusOK
 	if created {
@@ -398,6 +487,20 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusCreated
 	}
 	writeJSON(w, status, describe(e))
+}
+
+// notePersist records a degraded write-through: the recording is in the
+// in-memory store and fully replayable, but the disk copy is missing,
+// so a restart loses it. The response still succeeds (with
+// "persisted": false); the failure surfaces here and on the
+// store.persist_errors counter.
+func (s *Server) notePersist(persistErr error, e *entry) {
+	if persistErr == nil {
+		return
+	}
+	s.count("store.persist_errors", 1)
+	s.log.Warn("write-through persist failed; recording is memory-only",
+		"id", e.id, "error", persistErr)
 }
 
 func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
@@ -436,6 +539,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var e *entry
 	var created bool
+	var persistErr error
 	jobErr := s.submit(func() {
 		rec, rerr := delorean.RecordContext(ctx, cfg, mode, wl)
 		if rerr != nil {
@@ -448,10 +552,8 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var id string
-		id, created, err = s.store.put(rec, rs.Spec, canonical)
-		if err == nil {
-			e, _ = s.store.get(id)
-		}
+		id, created, persistErr = s.store.put(rec, rs.Spec, canonical)
+		e, _ = s.store.get(id)
 	})
 	if jobErr != nil {
 		s.fail(w, jobErr)
@@ -461,6 +563,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.notePersist(persistErr, e)
 	s.count("records", 1)
 	status := http.StatusOK
 	if created {
@@ -573,10 +676,16 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleMetrics snapshots the registry under the lock and writes the
+// snapshot after releasing it: the network write is at the mercy of the
+// scraper's read loop, and a stalled scraper must not block every
+// handler's count().
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.reg.Set("queue.depth", float64(s.pool.Queued()))
+	s.reg.Set("queue.running", float64(s.pool.Running()))
+	snap := s.reg.Snapshot()
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.reg.WriteText(w)
+	metrics.WriteCounters(w, snap)
 }

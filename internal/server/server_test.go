@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -393,10 +394,17 @@ func TestErrorTaxonomy(t *testing.T) {
 		}
 	})
 
-	t.Run("wrong processor count is 400", func(t *testing.T) {
+	t.Run("wrong processor count is 400 bad_request", func(t *testing.T) {
+		// The golden fixture was recorded with 4 processors; claiming 8 in
+		// the spec is a client mistake caught at upload time (via
+		// delorean.ErrWorkloadMismatch), not an internal error — storing
+		// the mismatch would only manufacture a divergence at replay time.
 		resp, body := upload(t, hs.URL, "workload=syskernel&procs=8&scale=130", golden)
-		if resp.StatusCode != http.StatusInternalServerError && resp.StatusCode != http.StatusBadRequest {
+		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if code := errCode(t, body); code != "bad_request" {
+			t.Fatalf("code %q", code)
 		}
 	})
 }
@@ -435,6 +443,12 @@ func TestQueueFull(t *testing.T) {
 	}
 	if code := errCode(t, body); code != "queue_full" {
 		t.Fatalf("code %q", code)
+	}
+	// Every 429 carries an honest backoff hint in whole seconds.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q is not a positive whole-second count", ra)
 	}
 	close(block)
 
@@ -485,6 +499,9 @@ func TestUploadPersistsToDisk(t *testing.T) {
 	if err := json.Unmarshal(body, &rec); err != nil {
 		t.Fatal(err)
 	}
+	if !rec.Persisted {
+		t.Fatalf("write-through succeeded but response says persisted=false: %s", body)
+	}
 	data, err := os.ReadFile(filepath.Join(dir, rec.ID+dataExt))
 	if err != nil {
 		t.Fatalf("persisted container: %v", err)
@@ -505,5 +522,71 @@ func TestUploadPersistsToDisk(t *testing.T) {
 	}
 	if len(data) < 5 || string(data[:4]) != "DLRN" || data[4] != 4 {
 		t.Fatalf("persisted container is not canonical v4 (starts %q)", data[:5])
+	}
+}
+
+// TestPersistFailureKeepsRecordingServable pins the store's
+// degraded-persistence semantics: when the write-through disk write
+// fails, the upload still succeeds (the in-memory entry is
+// authoritative) but reports persisted=false, the failure lands on the
+// store.persist_errors counter, and the recording replays normally.
+func TestPersistFailureKeepsRecordingServable(t *testing.T) {
+	// A regular file as a path component makes every write under the
+	// "directory" fail with ENOTDIR — unlike chmod tricks, this fails
+	// even when the tests run as root. loadDir's glob over the
+	// nonexistent path matches nothing, so startup is clean.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Config{Dir: filepath.Join(blocker, "store")})
+
+	resp, body := upload(t, hs.URL, goldenQuery, goldenBytes(t))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload with broken store dir: status %d: %s", resp.StatusCode, body)
+	}
+	var rec recordingJSON
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Persisted {
+		t.Fatalf("persist failed but response says persisted=true: %s", body)
+	}
+
+	resp, body = doJSON(t, "GET", hs.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "store.persist_errors 1\n") {
+		t.Fatalf("metrics missing store.persist_errors 1:\n%s", body)
+	}
+
+	// Degraded durability must not degrade availability: the recording
+	// replays from memory.
+	resp, body = doJSON(t, "POST", hs.URL+"/v1/recordings/"+rec.ID+"/replay", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay of unpersisted recording: status %d: %s", resp.StatusCode, body)
+	}
+	var v verdictJSON
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Deterministic {
+		t.Fatalf("unpersisted recording replayed non-deterministically: %s", body)
+	}
+}
+
+// TestUploadDeadline: the per-request deadline reaches the upload path.
+// The container decode streams through a context-checking reader, so a
+// deadline that expires mid-decode surfaces as 504 deadline_exceeded —
+// not as a corrupt_log misclassification of the truncated read.
+func TestUploadDeadline(t *testing.T) {
+	_, hs := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	resp, body := upload(t, hs.URL, goldenQuery, goldenBytes(t))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if code := errCode(t, body); code != "deadline_exceeded" {
+		t.Fatalf("code %q", code)
 	}
 }

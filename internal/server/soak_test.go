@@ -35,10 +35,11 @@ func soakBaseline(t *testing.T) *delorean.Recording {
 }
 
 // TestSoakConcurrentClients runs parallel clients mixing uploads,
-// replays, cancellations and metric reads against one server (run under
-// -race in CI). Every completed replay's verdict must be bit-identical
-// to a direct delorean.Replay of the same recording with the same
-// options — concurrency and cancellations must not perturb verdicts.
+// records, replays, traced replays, describes, cancellations and metric
+// reads against one server (run under -race in CI). Every completed
+// replay's verdict must be bit-identical to a direct delorean.Replay of
+// the same recording with the same options — concurrency and
+// cancellations must not perturb verdicts.
 func TestSoakConcurrentClients(t *testing.T) {
 	s, hs := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
 	golden := goldenBytes(t)
@@ -118,6 +119,36 @@ func TestSoakConcurrentClients(t *testing.T) {
 						resp.Body.Close()
 					}
 					cancel()
+				case 4: // traced replay of the shared recording
+					resp, body := doJSON(t, "GET", hs.URL+"/v1/recordings/"+recA.ID+"/trace", nil)
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "trace", resp, body)
+						return
+					}
+					var tr struct {
+						TraceEvents []json.RawMessage `json:"traceEvents"`
+					}
+					if err := json.Unmarshal(body, &tr); err != nil || len(tr.TraceEvents) == 0 {
+						errs <- errJSON(t, "trace body", resp, body)
+						return
+					}
+				case 5: // metrics scrape while replays are in flight
+					resp, body := doJSON(t, "GET", hs.URL+"/metrics", nil)
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "metrics", resp, body)
+						return
+					}
+				case 6: // describe the shared recording
+					resp, body := doJSON(t, "GET", hs.URL+"/v1/recordings/"+recG.ID, nil)
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "describe", resp, body)
+						return
+					}
+					var d recordingJSON
+					if err := json.Unmarshal(body, &d); err != nil || d.ID != recG.ID {
+						errs <- errJSON(t, "describe body", resp, body)
+						return
+					}
 				default: // replay and verify bit-identical verdict
 					id := recA.ID
 					base := recA
@@ -168,6 +199,106 @@ func TestSoakConcurrentClients(t *testing.T) {
 	}
 	if n := len(s.store.ids()); n != 2 {
 		t.Fatalf("store grew to %d entries during soak, want 2", n)
+	}
+}
+
+// TestConcurrentSameIDReplay is the concurrency-contract acceptance
+// test: eight clients hammer ONE stored recording with a mix of
+// replays (sequential and segmented), traced replays, describes and
+// metric scrapes — run under -race in CI — and every verdict must be
+// bit-identical to the sequential baseline computed up front. Replay is
+// reentrant (per-call engine state); this pins that contract at the
+// HTTP surface.
+func TestConcurrentSameIDReplay(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 8, QueueDepth: 64})
+	golden := goldenBytes(t)
+
+	resp, body := upload(t, hs.URL, goldenQuery, golden)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed upload: %d: %s", resp.StatusCode, body)
+	}
+	var rec recordingJSON
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential ground truth, one verdict per (seed, parallel) variant.
+	const seed = uint64(31337)
+	variants := []map[string]any{
+		{"perturb_seed": seed},
+		{"perturb_seed": seed, "parallel": 2},
+	}
+	want := make([]verdictJSON, len(variants))
+	for i, v := range variants {
+		resp, body := doJSON(t, "POST", hs.URL+"/v1/recordings/"+rec.ID+"/replay", v)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline replay %v: %d: %s", v, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &want[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !want[i].Deterministic {
+			t.Fatalf("baseline replay %v not deterministic: %s", v, body)
+		}
+	}
+	// Segmented timing stats differ from sequential; the verdict and the
+	// architectural work must not.
+	if want[1].Stats.Instructions != want[0].Stats.Instructions {
+		t.Fatalf("baselines disagree on instructions: %+v vs %+v", want[0], want[1])
+	}
+
+	const clients, opsPerClient = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for op := 0; op < opsPerClient; op++ {
+				switch (c + op) % 4 {
+				case 0, 1: // replay, alternating sequential/segmented
+					i := (c + op) % len(variants)
+					resp, body := doJSON(t, "POST", hs.URL+"/v1/recordings/"+rec.ID+"/replay", variants[i])
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "replay", resp, body)
+						return
+					}
+					var got verdictJSON
+					if err := json.Unmarshal(body, &got); err != nil {
+						errs <- err
+						return
+					}
+					if got != want[i] {
+						errs <- errJSON(t, "verdict drifted under concurrency", resp, body)
+						return
+					}
+				case 2: // traced replay of the same id
+					resp, body := doJSON(t, "GET", hs.URL+"/v1/recordings/"+rec.ID+"/trace", nil)
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "trace", resp, body)
+						return
+					}
+					var tr struct {
+						TraceEvents []json.RawMessage `json:"traceEvents"`
+					}
+					if err := json.Unmarshal(body, &tr); err != nil || len(tr.TraceEvents) == 0 {
+						errs <- errJSON(t, "trace body", resp, body)
+						return
+					}
+				case 3: // metrics scrape mid-storm
+					resp, body := doJSON(t, "GET", hs.URL+"/metrics", nil)
+					if resp.StatusCode != http.StatusOK {
+						errs <- errJSON(t, "metrics", resp, body)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

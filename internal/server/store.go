@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"delorean"
 	"delorean/internal/workload"
@@ -52,12 +53,18 @@ func (s Spec) instantiate() (*delorean.Workload, error) {
 
 // entry is one stored recording: the decoded form for replay, the
 // canonical v4 bytes for re-download/hashing, and the spec that
-// regenerates its programs.
+// regenerates its programs. Everything but persisted is immutable after
+// insertion, which is what lets handlers replay one entry from many
+// goroutines at once (see the Recording concurrency contract).
 type entry struct {
 	id   string
 	spec Spec
 	rec  *delorean.Recording
 	data []byte
+	// persisted reports whether the canonical bytes are durably on disk.
+	// Atomic because a degraded entry can be healed by a later put of
+	// the same content while other handlers describe it.
+	persisted atomic.Bool
 }
 
 // store is the content-addressed recording store: an in-memory map
@@ -98,26 +105,38 @@ func recordingID(spec Spec, canonical []byte) string {
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
-// put stores the recording, reporting its id and whether it was new.
-// The disk write happens outside the lock: the id addresses the
-// content, so two racing writers of the same id write identical bytes.
-func (st *store) put(rec *delorean.Recording, spec Spec, canonical []byte) (string, bool, error) {
-	id := recordingID(spec, canonical)
+// put stores the recording, reporting its id, whether it was new, and
+// any write-through persist failure. The in-memory insert is
+// authoritative: a persist failure degrades durability, never
+// availability — the entry stays in the map (marked unpersisted, so the
+// client learns the recording will not survive a restart) and a later
+// put of the same content retries the disk write. The disk write
+// happens outside the lock: the id addresses the content, so two racing
+// writers of the same id write identical bytes (to distinct temp files;
+// see persist).
+func (st *store) put(rec *delorean.Recording, spec Spec, canonical []byte) (id string, created bool, persistErr error) {
+	id = recordingID(spec, canonical)
 	st.mu.Lock()
-	_, exists := st.m[id]
+	e, exists := st.m[id]
 	if !exists {
-		st.m[id] = &entry{id: id, spec: spec, rec: rec, data: canonical}
+		e = &entry{id: id, spec: spec, rec: rec, data: canonical}
+		st.m[id] = e
 	}
 	st.mu.Unlock()
-	if exists || st.dir == "" {
+	if st.dir == "" || e.persisted.Load() {
 		return id, !exists, nil
 	}
 	if err := st.persist(id, spec, canonical); err != nil {
-		return id, true, err
+		return id, !exists, err
 	}
-	return id, true, nil
+	e.persisted.Store(true)
+	return id, !exists, nil
 }
 
+// persist writes the container and its spec sidecar atomically: each
+// file lands under a unique temp name first and is renamed into place,
+// so concurrent writers of the same content-addressed id can interleave
+// freely — every rename installs a complete, identical file.
 func (st *store) persist(id string, spec Spec, canonical []byte) error {
 	sp, err := json.Marshal(spec)
 	if err != nil {
@@ -127,16 +146,31 @@ func (st *store) persist(id string, spec Spec, canonical []byte) error {
 		name string
 		data []byte
 	}{{id + dataExt, canonical}, {id + specExt, sp}} {
-		path := filepath.Join(st.dir, f.name)
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, f.data, 0o644); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp, path); err != nil {
+		if err := writeFileAtomic(st.dir, f.name, f.data); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
 }
 
 func (st *store) get(id string) (*entry, bool) {
@@ -205,9 +239,11 @@ func (st *store) loadOne(id string, workers int) error {
 	if got := recordingID(spec, data); got != id {
 		return fmt.Errorf("content hash %s does not match filename", got)
 	}
+	e := &entry{id: id, spec: spec, rec: rec, data: data}
+	e.persisted.Store(true) // it was just read from disk
 	st.mu.Lock()
 	if _, exists := st.m[id]; !exists {
-		st.m[id] = &entry{id: id, spec: spec, rec: rec, data: data}
+		st.m[id] = e
 	}
 	st.mu.Unlock()
 	return nil

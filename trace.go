@@ -99,6 +99,10 @@ func (r *Recording) Trace() *ExecTrace {
 // ReplayTraced is Replay with timeline capture: it additionally returns
 // the replay run's ExecTrace. A non-deterministic replay's trace ends
 // with a divergence marker locating the first detected divergence.
+//
+// ReplayTraced is safe to call concurrently on the same Recording (see
+// the Recording concurrency contract): each call allocates a private
+// trace sink, so concurrent traced replays never share event buffers.
 func (r *Recording) ReplayTraced(opts ReplayWith) (ReplayResult, *ExecTrace, error) {
 	sink := trace.NewSink(r.rec.NProcs)
 	ro := core.ReplayOptions{
