@@ -26,34 +26,41 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8723", "listen address")
-		dir       = flag.String("store", "", "recording store directory (empty: in-memory only)")
-		workers   = flag.Int("workers", 0, "simulation worker count (0: host default)")
-		queue     = flag.Int("queue", 16, "max queued simulation jobs before 429")
-		maxUpload = flag.Int64("max-upload", 64<<20, "max recording upload bytes")
-		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request simulation deadline (<0: none)")
+		addr       = flag.String("addr", "127.0.0.1:8723", "listen address")
+		dir        = flag.String("store", "", "recording store directory (empty: in-memory only)")
+		workers    = flag.Int("workers", 0, "simulation worker count (0: host default)")
+		queue      = flag.Int("queue", 16, "max queued simulation jobs before 429")
+		maxUpload  = flag.Int64("max-upload", 64<<20, "max recording upload bytes")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request simulation deadline (<0: none)")
+		resident   = flag.Int64("resident-budget", 0, "max bytes of materialized recording state resident at once (0: unlimited)")
+		cacheEnts  = flag.Int("cache-entries", 256, "max cached verdict/trace responses")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "max bytes of cached verdict/trace responses")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *workers, *queue, *maxUpload, *timeout); err != nil {
+	cfg := server.Config{
+		Dir:             *dir,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxUploadBytes:  *maxUpload,
+		RequestTimeout:  *timeout,
+		ResidencyBudget: *resident,
+		CacheEntries:    *cacheEnts,
+		CacheBytes:      *cacheBytes,
+	}
+	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "delorean-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, queue int, maxUpload int64, timeout time.Duration) error {
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+func run(addr string, cfg server.Config) error {
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return err
 		}
 	}
-	srv, err := server.New(server.Config{
-		Dir:            dir,
-		Workers:        workers,
-		QueueDepth:     queue,
-		MaxUploadBytes: maxUpload,
-		RequestTimeout: timeout,
-		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
-	})
+	cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -73,9 +80,11 @@ func run(addr, dir string, workers, queue int, maxUpload int64, timeout time.Dur
 		return err
 	case <-ctx.Done():
 	}
-	// Drain: stop accepting, let in-flight handlers (and the simulation
-	// jobs they wait on) finish, then stop the pool.
+	// Drain: flip /healthz to 503 so load balancers stop routing here,
+	// stop accepting, let in-flight handlers (and the simulation jobs
+	// they wait on) finish, then stop the pool.
 	fmt.Fprintln(os.Stderr, "delorean-serve: draining")
+	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -406,6 +406,9 @@ func (r *Recording) Replay(opts ReplayWith) (ReplayResult, error) {
 // re-execution happened to reproduce the recording's final state (for a
 // racy workload under different timing: almost surely false).
 func (r *Recording) RunUnordered(perturbArbiter bool) (bool, ExecStats, error) {
+	if err := r.rec.EnsureLogs(0); err != nil {
+		return false, ExecStats{}, fmt.Errorf("delorean: unordered run: %w", err)
+	}
 	m := r.cfg.machine()
 	if perturbArbiter {
 		m = core.ReplayConfig(m) // different commit timing than recording
@@ -421,8 +424,9 @@ func (r *Recording) RunUnordered(perturbArbiter bool) (bool, ExecStats, error) {
 }
 
 // Checkpoints returns how many interval checkpoints the recording holds
-// (zero unless recorded with Config.CheckpointEvery).
-func (r *Recording) Checkpoints() int { return len(r.rec.Checkpoints) }
+// (zero unless recorded with Config.CheckpointEvery). Counting does not
+// force a lazily indexed recording to decode its checkpoint section.
+func (r *Recording) Checkpoints() int { return r.rec.CheckpointCount() }
 
 // ReplayFromCheckpoint deterministically replays the interval from the
 // idx-th checkpoint to the end of the recording (the paper's Appendix B
@@ -499,6 +503,57 @@ func LoadRecordingParallel(src io.Reader, cfg Config, w *Workload, workers int) 
 	cfg.ChunkSize = rec.ChunkSize
 	return &Recording{rec: rec, cfg: cfg, progs: w.Progs}, nil
 }
+
+// IndexRecording builds a Recording from an in-memory v4 container
+// without decoding it: frame headers are parsed and every payload
+// CRC-checked, but the payloads stay compressed, retained as subslices
+// of data, and sections decode on first use (a replay materializes the
+// logs it needs; Materialize forces everything). The caller must not
+// mutate data while the Recording is alive. v2/v3 containers carry no
+// frame structure and decode eagerly, exactly as LoadRecording would.
+//
+// This is the serving path's cheap admission: indexing costs one pass
+// over the bytes (CRC speed), not a decompression of every shard, and
+// Release returns a materialized recording to this indexed state so a
+// byte-budgeted store can bound resident memory.
+func IndexRecording(data []byte, cfg Config, w *Workload) (*Recording, error) {
+	rec, err := core.IndexRecording(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.Progs) != rec.NProcs {
+		return nil, fmt.Errorf("delorean: %w: recording has %d processors, workload has %d",
+			ErrWorkloadMismatch, rec.NProcs, len(w.Progs))
+	}
+	cfg.Processors = rec.NProcs
+	cfg.ChunkSize = rec.ChunkSize
+	return &Recording{rec: rec, cfg: cfg, progs: w.Progs}, nil
+}
+
+// Materialize decodes every lazily retained section of an indexed
+// recording (logs and checkpoints), fanning the decompression across
+// workers (0: host default). It is a validated no-op on an eagerly
+// loaded or already materialized recording, and it is safe to call
+// concurrently with replays — a replay triggers the same
+// materialization paths under the same locks.
+func (r *Recording) Materialize(workers int) error {
+	return r.rec.EnsureCheckpoints(workers)
+}
+
+// Release evicts an indexed recording's materialized sections back to
+// the retained compressed frames; the next replay (or Materialize)
+// rebuilds them bit-identically. No-op for eagerly loaded recordings.
+// The caller must guarantee no replay of this Recording is in flight.
+func (r *Recording) Release() { r.rec.ReleaseLogs() }
+
+// Materialized reports whether every section is currently decoded
+// (always true for eagerly loaded recordings).
+func (r *Recording) Materialized() bool { return r.rec.Materialized() }
+
+// MaterializedSizeEstimate returns the summed decompressed section
+// bytes an indexed recording occupies when materialized — the residency
+// manager's accounting unit. Zero for eagerly loaded recordings.
+func (r *Recording) MaterializedSizeEstimate() int64 { return r.rec.MaterializedSizeEstimate() }
 
 // EstimateLogGBPerDay extrapolates the recording's compressed
 // memory-ordering log rate to a machine of the given clock frequency

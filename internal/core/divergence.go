@@ -170,13 +170,31 @@ func (r *Recording) Validate() error {
 	if n := len(r.ProcChains); n != 0 && n != r.NProcs {
 		return corrupt("%d per-processor chain digests for %d procs", n, r.NProcs)
 	}
-	// Checkpoint structure: segmented replay slices logs and fans out
-	// workers based on these fields, so a structurally corrupt checkpoint
-	// must fail here — identically for sequential and segmented replay —
-	// rather than panic a worker.
+	// Checkpoint structure: a lazily loaded recording (IndexRecording /
+	// Materialize) defers its checkpoint section — EnsureCheckpoints runs
+	// the same validateCheckpoints pass when the section is first
+	// decoded, so the invariant "no replay path sees an unvalidated
+	// checkpoint" holds either way.
+	r.ckMu.Lock()
+	lazy := r.ckLazy != nil && !r.ckDone
+	r.ckMu.Unlock()
+	if !lazy {
+		if err := r.validateCheckpoints(r.Checkpoints); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateCheckpoints checks the checkpoint section's structural
+// invariants against the recording's logs. Segmented replay slices logs
+// and fans out workers based on these fields, so a structurally corrupt
+// checkpoint must fail here — identically for sequential and segmented
+// replay — rather than panic a worker.
+func (r *Recording) validateCheckpoints(cps []IntervalCheckpoint) error {
 	var prevCut uint64
-	for i := range r.Checkpoints {
-		cp := &r.Checkpoints[i]
+	for i := range cps {
+		cp := &cps[i]
 		if cp.Slot == 0 || cp.Slot <= prevCut {
 			return corrupt("checkpoint %d cut at slot %d not after previous cut %d", i, cp.Slot, prevCut)
 		}
@@ -194,9 +212,9 @@ func (r *Recording) Validate() error {
 			if pc.IOConsumed < 0 || pc.IOConsumed > len(r.IO[p].Values()) {
 				return corrupt("checkpoint %d proc %d consumed %d of %d I/O values", i, p, pc.IOConsumed, len(r.IO[p].Values()))
 			}
-			if i > 0 && pc.IOConsumed < r.Checkpoints[i-1].Procs[p].IOConsumed {
+			if i > 0 && pc.IOConsumed < cps[i-1].Procs[p].IOConsumed {
 				return corrupt("checkpoint %d proc %d I/O consumption regressed (%d after %d)",
-					i, p, pc.IOConsumed, r.Checkpoints[i-1].Procs[p].IOConsumed)
+					i, p, pc.IOConsumed, cps[i-1].Procs[p].IOConsumed)
 			}
 		}
 		if n := len(cp.ProcChains); n != 0 && n != r.NProcs {

@@ -251,6 +251,11 @@ func (r *Recording) frameSpecs() []frameSpec {
 // runs fully inline). Output bytes are identical at any worker count;
 // only wall-clock and peak memory differ.
 func (r *Recording) WriteToParallel(w io.Writer, workers int) (int64, error) {
+	// A lazily indexed recording materializes everything frameSpecs
+	// reads (logs and checkpoints) before serialization walks it.
+	if err := r.EnsureCheckpoints(workers); err != nil {
+		return 0, err
+	}
 	bw := bufio.NewWriter(w)
 	c := &countingWriter{w: bw}
 

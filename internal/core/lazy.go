@@ -1,0 +1,336 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+
+	"delorean/internal/dlog"
+	"delorean/internal/runner"
+)
+
+// On-demand residency: IndexRecording splits v4 loading into a cheap
+// index pass — parse and CRC-check every frame, retaining the compressed
+// payloads as zero-copy subslices of the container — and deferred
+// materialization (EnsureLogs / EnsureCheckpoints) that decodes a
+// section the first time a replay path needs it. ReleaseLogs drops the
+// decoded structures back to the retained frames, so a byte-budgeted
+// store can evict a resident recording to its canonical bytes and
+// rematerialize it later with a bit-identical result.
+//
+// Locking: lzMu guards the log section's lazy state, ckMu the
+// checkpoint section's, matMu the materialized-image LRU. The canonical
+// acquisition order is lzMu -> ckMu -> matMu (EnsureLogs holds lzMu
+// while Validate takes ckMu; ReleaseLogs takes all three).
+
+// lazyFrame is one retained v4 frame: header fields plus the encoded
+// payload, which aliases the container bytes handed to IndexRecording.
+type lazyFrame struct {
+	kind   uint8
+	shard  uint32
+	enc    uint8
+	crc    uint32
+	body   []byte
+	rawLen int
+}
+
+// IndexRecording parses a v4 container from data without decoding it:
+// the header is read, every frame header is validated (kind order,
+// shard contiguity, encoding, length) and every payload CRC-checked,
+// but payloads stay compressed, retained as subslices of data. The
+// returned recording materializes sections on demand — callers must not
+// mutate data while the recording is alive.
+//
+// v2/v3 containers have no frame structure to index; they decode
+// eagerly, exactly as ReadRecording would.
+func IndexRecording(data []byte) (*Recording, error) {
+	br := bytes.NewReader(data)
+	d := &reader{r: br}
+	r, version, err := readHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	if version != recVersionV4 {
+		return ReadRecordingParallel(bytes.NewReader(data), 0)
+	}
+	off := int(br.Size()) - br.Len()
+
+	var logFrames, ckFrames []lazyFrame
+	var counts [frameEnd + 1]uint32
+	var lastKind uint8
+	var est int64
+	for {
+		if off+frameHeaderLen > len(data) {
+			return nil, corrupt("truncated frame header at offset %d", off)
+		}
+		f := lazyFrame{
+			kind:  data[off],
+			shard: binary.LittleEndian.Uint32(data[off+1 : off+5]),
+			enc:   data[off+5],
+			crc:   binary.LittleEndian.Uint32(data[off+10 : off+14]),
+		}
+		n := binary.LittleEndian.Uint32(data[off+6 : off+10])
+		off += frameHeaderLen
+		if n > maxFramePayload {
+			return nil, corrupt("frame claims %d payload bytes", n)
+		}
+		if off+int(n) > len(data) {
+			return nil, corrupt("truncated frame payload at offset %d", off)
+		}
+		f.body = data[off : off+int(n) : off+int(n)]
+		off += int(n)
+		if crc32.ChecksumIEEE(f.body) != f.crc {
+			return nil, corrupt("frame payload CRC mismatch")
+		}
+		if f.kind < frameInitMem || f.kind > frameEnd {
+			return nil, corrupt("unknown frame kind %d", f.kind)
+		}
+		if f.kind < lastKind {
+			return nil, corrupt("frame kind %d after kind %d: sections out of canonical order", f.kind, lastKind)
+		}
+		lastKind = f.kind
+		if f.shard != counts[f.kind] {
+			return nil, corrupt("frame kind %d shard %d arrived with %d indexed", f.kind, f.shard, counts[f.kind])
+		}
+		counts[f.kind]++
+		switch f.enc {
+		case encRaw:
+			f.rawLen = len(f.body)
+		case encLZ77:
+			if len(f.body) < 8 {
+				return nil, corrupt("LZ77 frame too short for its header")
+			}
+			f.rawLen = int(binary.LittleEndian.Uint32(f.body[0:4]))
+		default:
+			return nil, corrupt("unknown frame encoding %d", f.enc)
+		}
+		if f.kind == frameEnd {
+			if len(f.body) != 0 || f.rawLen != 0 {
+				return nil, corrupt("end frame carries %d payload bytes", len(f.body))
+			}
+			if off != len(data) {
+				return nil, corrupt("trailing data after end frame")
+			}
+			break
+		}
+		est += int64(f.rawLen)
+		if f.kind == frameCheckpoint {
+			ckFrames = append(ckFrames, f)
+		} else {
+			logFrames = append(logFrames, f)
+		}
+	}
+
+	// Section completeness, mirroring finishV4 — an index pass must
+	// reject a container a full load would reject, so lazily served
+	// recordings fail at index time, not mid-replay.
+	if counts[frameInitMem] != 1 || counts[frameDMA] != 1 || counts[frameSlots] != 1 {
+		return nil, corrupt("recording missing a singleton frame (init-mem %d, DMA %d, slots %d)",
+			counts[frameInitMem], counts[frameDMA], counts[frameSlots])
+	}
+	if int(counts[frameCS]) != r.NProcs {
+		return nil, corrupt("recording has %d CS logs for %d processors", counts[frameCS], r.NProcs)
+	}
+	wantSizes := 0
+	if r.Mode == OrderSize {
+		wantSizes = r.NProcs
+	}
+	if int(counts[frameSizes]) != wantSizes {
+		return nil, corrupt("recording has %d size logs for %d expected", counts[frameSizes], wantSizes)
+	}
+	if int(counts[frameIntr]) != r.NProcs || int(counts[frameIO]) != r.NProcs {
+		return nil, corrupt("recording has %d interrupt and %d IO logs for %d processors",
+			counts[frameIntr], counts[frameIO], r.NProcs)
+	}
+
+	if logFrames == nil {
+		logFrames = []lazyFrame{}
+	}
+	if ckFrames == nil {
+		ckFrames = []lazyFrame{}
+	}
+	r.logLazy = logFrames
+	r.ckLazy = ckFrames
+	r.sizeEst = est
+	return r, nil
+}
+
+// decodeLazyFrames decodes retained frame payloads, fanning the
+// CPU-heavy LZ77/CRC work across workers (0: host default, 1: inline).
+func decodeLazyFrames(frames []lazyFrame, workers int) ([][]byte, error) {
+	return runner.Map(workers, len(frames), func(i int) ([]byte, error) {
+		return decodeFramePayload(frames[i].enc, frames[i].crc, frames[i].body)
+	})
+}
+
+// EnsureLogs materializes the log section (everything but checkpoints)
+// of a lazily indexed recording. It is a no-op on an eagerly loaded
+// recording or once materialization succeeded; a decode failure is
+// cached and returned to every subsequent caller. Safe for concurrent
+// use.
+func (r *Recording) EnsureLogs(workers int) error {
+	r.lzMu.Lock()
+	defer r.lzMu.Unlock()
+	return r.ensureLogsLocked(workers)
+}
+
+func (r *Recording) ensureLogsLocked(workers int) error {
+	if r.logLazy == nil || r.logDone {
+		return nil
+	}
+	if r.logErr != nil {
+		return r.logErr
+	}
+	raws, err := decodeLazyFrames(r.logLazy, workers)
+	if err == nil {
+		// Apply in canonical order with a fresh progress tracker; the
+		// re-wrap makes applyFrame's CRC check a no-op recompute on the
+		// raw bytes, same as the parallel v4 reader.
+		seen := &frameProgress{}
+		for i := range r.logLazy {
+			f := rawFrame{
+				kind:  r.logLazy[i].kind,
+				shard: r.logLazy[i].shard,
+				enc:   encRaw,
+				body:  raws[i],
+				crc:   crc32.ChecksumIEEE(raws[i]),
+			}
+			if err = r.applyFrame(f, seen); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = r.finishV4(seen)
+		}
+		if err == nil {
+			// The checkpoint gate in Validate skips the still-lazy
+			// checkpoint section; EnsureCheckpoints validates it on decode.
+			err = r.Validate()
+		}
+	}
+	if err != nil {
+		r.resetDecodedLogsLocked()
+		r.logErr = err
+		return err
+	}
+	r.logDone = true
+	return nil
+}
+
+// EnsureCheckpoints materializes the checkpoint section (and,
+// transitively, the log section — checkpoint validation reads the I/O
+// logs). Same caching and concurrency contract as EnsureLogs.
+func (r *Recording) EnsureCheckpoints(workers int) error {
+	if err := r.EnsureLogs(workers); err != nil {
+		return err
+	}
+	r.ckMu.Lock()
+	defer r.ckMu.Unlock()
+	if r.ckLazy == nil || r.ckDone {
+		return nil
+	}
+	if r.ckErr != nil {
+		return r.ckErr
+	}
+	raws, err := decodeLazyFrames(r.ckLazy, workers)
+	if err == nil {
+		cps := make([]IntervalCheckpoint, 0, len(r.ckLazy))
+		for i, raw := range raws {
+			d := &reader{r: bytes.NewReader(raw)}
+			cp, cerr := r.readCheckpointBody(d, i, false)
+			if cerr != nil {
+				err = cerr
+				break
+			}
+			if d.err != nil {
+				err = corrupt("checkpoint frame %d truncated: %v", i, d.err)
+				break
+			}
+			cps = append(cps, cp)
+		}
+		if err == nil {
+			err = r.validateCheckpoints(cps)
+		}
+		if err == nil {
+			r.Checkpoints = cps
+		}
+	}
+	if err != nil {
+		r.Checkpoints = nil
+		r.ckErr = err
+		return err
+	}
+	r.ckDone = true
+	return nil
+}
+
+// resetDecodedLogsLocked drops every decoded log structure back to the
+// post-header state, so a failed or released materialization leaves no
+// partially applied section behind. Caller holds lzMu.
+func (r *Recording) resetDecodedLogsLocked() {
+	r.InitialMem = nil
+	r.PI = nil
+	r.CS = nil
+	r.Sizes = nil
+	r.Stratified = nil
+	r.Intr = nil
+	r.IO = nil
+	r.DMA = &dlog.DMALog{}
+	r.Slots = &dlog.SlotLog{}
+}
+
+// ReleaseLogs evicts a lazily indexed recording's materialized state —
+// decoded logs, checkpoints, and the materialized-image LRU — back to
+// the retained compressed frames; the next Ensure call rebuilds an
+// identical recording. No-op for eagerly loaded recordings (there are
+// no frames to fall back to). The caller must guarantee no replay of
+// this recording is in flight (the server's residency manager only
+// releases unpinned entries).
+func (r *Recording) ReleaseLogs() {
+	r.lzMu.Lock()
+	defer r.lzMu.Unlock()
+	r.ckMu.Lock()
+	defer r.ckMu.Unlock()
+	r.matMu.Lock()
+	defer r.matMu.Unlock()
+	if r.logLazy == nil {
+		return
+	}
+	r.resetDecodedLogsLocked()
+	r.Checkpoints = nil
+	r.matCache = nil
+	r.matOrder = nil
+	r.logDone, r.ckDone = false, false
+	r.logErr, r.ckErr = nil, nil
+}
+
+// CheckpointCount reports how many interval checkpoints the recording
+// carries without forcing the checkpoint section to decode.
+func (r *Recording) CheckpointCount() int {
+	r.ckMu.Lock()
+	defer r.ckMu.Unlock()
+	if r.ckLazy != nil && !r.ckDone {
+		return len(r.ckLazy)
+	}
+	return len(r.Checkpoints)
+}
+
+// Materialized reports whether every section is decoded (always true
+// for eagerly loaded recordings).
+func (r *Recording) Materialized() bool {
+	r.lzMu.Lock()
+	logs := r.logLazy == nil || r.logDone
+	r.lzMu.Unlock()
+	r.ckMu.Lock()
+	cks := r.ckLazy == nil || r.ckDone
+	r.ckMu.Unlock()
+	return logs && cks
+}
+
+// MaterializedSizeEstimate returns the summed raw (decompressed) frame
+// payload bytes of an indexed recording — the residency manager's cost
+// estimate for keeping it materialized. Zero for eagerly loaded
+// recordings.
+func (r *Recording) MaterializedSizeEstimate() int64 {
+	return r.sizeEst
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"sync"
+	"testing"
+)
+
+// verdictKey flattens the comparable core of a ReplayResult (Stats holds
+// slices, so the struct itself is not comparable).
+type verdictKey struct {
+	fp, mem, insts, chunks, cycles uint64
+	converged                      bool
+}
+
+func keyOf(r ReplayResult) verdictKey {
+	return verdictKey{r.Fingerprint, r.MemHash, r.Stats.Insts, r.Stats.Chunks, r.Stats.Cycles, r.Stats.Converged}
+}
+
+// indexFixture saves a full-featured checkpointed recording as v4 bytes
+// and returns the canonical container plus the eager recording and the
+// replay ingredients.
+func indexFixture(t *testing.T, mode Mode) ([]byte, *Recording, ReplayOptions, func(*Recording) (ReplayResult, error)) {
+	t.Helper()
+	rec, cfg, progs := fullFatV4Recording(t, mode)
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	opts := ReplayOptions{}
+	replay := func(r *Recording) (ReplayResult, error) {
+		return Replay(r, ReplayConfig(cfg), progs, opts)
+	}
+	return buf.Bytes(), rec, opts, replay
+}
+
+// TestIndexRecordingReplayIdentity: an indexed recording's replay
+// verdict must equal the eagerly loaded recording's, for sequential and
+// segmented replay, before and after a Release/rematerialize cycle.
+func TestIndexRecordingReplayIdentity(t *testing.T) {
+	for _, mode := range []Mode{OrderSize, OrderOnly, PicoLog} {
+		t.Run(mode.String(), func(t *testing.T) {
+			data, eager, _, replay := indexFixture(t, mode)
+			want, err := replay(eager)
+			if err != nil {
+				t.Fatalf("eager replay: %v", err)
+			}
+
+			lazy, err := IndexRecording(data)
+			if err != nil {
+				t.Fatalf("IndexRecording: %v", err)
+			}
+			if lazy.Materialized() {
+				t.Fatal("freshly indexed recording claims to be materialized")
+			}
+			if lazy.MaterializedSizeEstimate() <= 0 {
+				t.Fatal("indexed recording has no size estimate")
+			}
+			if got, want := lazy.CheckpointCount(), len(eager.Checkpoints); got != want {
+				t.Fatalf("CheckpointCount before materialization: %d, want %d", got, want)
+			}
+			got, err := replay(lazy)
+			if err != nil {
+				t.Fatalf("lazy replay: %v", err)
+			}
+			if keyOf(got) != keyOf(want) {
+				t.Fatalf("lazy replay verdict differs:\n got %+v\nwant %+v", got, want)
+			}
+
+			// Release and replay again: bit-identical rematerialization.
+			lazy.ReleaseLogs()
+			if lazy.Materialized() {
+				t.Fatal("released recording claims to be materialized")
+			}
+			got, err = replay(lazy)
+			if err != nil {
+				t.Fatalf("replay after release: %v", err)
+			}
+			if keyOf(got) != keyOf(want) {
+				t.Fatalf("post-release replay verdict differs:\n got %+v\nwant %+v", got, want)
+			}
+
+			// Re-serialization of the rematerialized recording reproduces
+			// the canonical bytes.
+			var out bytes.Buffer
+			if _, err := lazy.WriteTo(&out); err != nil {
+				t.Fatalf("re-serialize: %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), data) {
+				t.Fatal("re-serialized indexed recording differs from canonical bytes")
+			}
+		})
+	}
+}
+
+// TestIndexRecordingSegmented: segmented replay of an indexed recording
+// materializes the checkpoint section on demand and stays bit-identical
+// to the eager recording's segmented verdict.
+func TestIndexRecordingSegmented(t *testing.T) {
+	data, eager, _, _ := indexFixture(t, OrderOnly)
+	_, cfg, progs := fullFatV4Recording(t, OrderOnly)
+	opts := ReplayOptions{ReplayParallel: 2}
+	want, err := Replay(eager, ReplayConfig(cfg), progs, opts)
+	if err != nil {
+		t.Fatalf("eager segmented replay: %v", err)
+	}
+	lazy, err := IndexRecording(data)
+	if err != nil {
+		t.Fatalf("IndexRecording: %v", err)
+	}
+	got, err := Replay(lazy, ReplayConfig(cfg), progs, opts)
+	if err != nil {
+		t.Fatalf("lazy segmented replay: %v", err)
+	}
+	if keyOf(got) != keyOf(want) {
+		t.Fatalf("segmented verdict differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestIndexRecordingSequentialSkipsCheckpoints: the perf contract — a
+// sequential replay of an indexed recording never decodes the
+// checkpoint section.
+func TestIndexRecordingSequentialSkipsCheckpoints(t *testing.T) {
+	data, _, _, replay := indexFixture(t, OrderOnly)
+	lazy, err := IndexRecording(data)
+	if err != nil {
+		t.Fatalf("IndexRecording: %v", err)
+	}
+	if _, err := replay(lazy); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	lazy.ckMu.Lock()
+	decoded := lazy.ckDone
+	lazy.ckMu.Unlock()
+	if decoded {
+		t.Fatal("sequential replay decoded the checkpoint section")
+	}
+	if len(lazy.Checkpoints) != 0 {
+		t.Fatalf("sequential replay populated %d checkpoints", len(lazy.Checkpoints))
+	}
+}
+
+// TestIndexRecordingCorruption: the index pass catches flipped bytes
+// (every payload is CRC-checked) and truncation; corruption that only
+// manifests on decode is caught, and cached, by materialization.
+func TestIndexRecordingCorruption(t *testing.T) {
+	data, _, _, replay := indexFixture(t, OrderOnly)
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := bytes.Clone(data)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := IndexRecording(bad); !errors.Is(err, ErrCorruptLog) {
+			t.Fatalf("IndexRecording(flipped) = %v, want ErrCorruptLog", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := IndexRecording(data[:len(data)-3]); !errors.Is(err, ErrCorruptLog) {
+			t.Fatalf("IndexRecording(truncated) = %v, want ErrCorruptLog", err)
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		bad := append(bytes.Clone(data), 0xAB)
+		if _, err := IndexRecording(bad); !errors.Is(err, ErrCorruptLog) {
+			t.Fatalf("IndexRecording(trailing) = %v, want ErrCorruptLog", err)
+		}
+	})
+	t.Run("decode error is cached", func(t *testing.T) {
+		// A consistent CRC over a corrupted LZ77 stream passes indexing
+		// but fails materialization; the error must be sticky.
+		lazy, err := IndexRecording(data)
+		if err != nil {
+			t.Fatalf("IndexRecording: %v", err)
+		}
+		// Sabotage a retained frame body after indexing, recomputing the
+		// CRC so only the decode can notice. Pick the largest LZ77 frame.
+		var victim *lazyFrame
+		for i := range lazy.logLazy {
+			f := &lazy.logLazy[i]
+			if f.enc == encLZ77 && len(f.body) > 12 && (victim == nil || len(f.body) > len(victim.body)) {
+				victim = f
+			}
+		}
+		if victim == nil {
+			t.Skip("no compressed frame large enough to sabotage")
+		}
+		victim.body = bytes.Clone(victim.body)
+		victim.body[10] ^= 0xFF
+		victim.crc = crc32.ChecksumIEEE(victim.body)
+		if _, err := replay(lazy); !errors.Is(err, ErrCorruptLog) {
+			t.Fatalf("replay of sabotaged frame = %v, want ErrCorruptLog", err)
+		}
+		if _, err := replay(lazy); !errors.Is(err, ErrCorruptLog) {
+			t.Fatalf("second replay (cached error) = %v, want ErrCorruptLog", err)
+		}
+	})
+}
+
+// TestIndexRecordingV3Fallback: pre-v4 containers have no frames to
+// index and decode eagerly.
+func TestIndexRecordingV3Fallback(t *testing.T) {
+	rec, cfg, progs := fullFatV4Recording(t, OrderOnly)
+	var v3 bytes.Buffer
+	if _, err := rec.WriteToV3(&v3); err != nil {
+		t.Fatalf("WriteToV3: %v", err)
+	}
+	lazy, err := IndexRecording(v3.Bytes())
+	if err != nil {
+		t.Fatalf("IndexRecording(v3): %v", err)
+	}
+	if !lazy.Materialized() {
+		t.Fatal("v3 fallback should load eagerly")
+	}
+	if lazy.MaterializedSizeEstimate() != 0 {
+		t.Fatal("eager recording should report a zero size estimate")
+	}
+	want, err := Replay(rec, ReplayConfig(cfg), progs, ReplayOptions{})
+	if err != nil {
+		t.Fatalf("eager replay: %v", err)
+	}
+	got, err := Replay(lazy, ReplayConfig(cfg), progs, ReplayOptions{})
+	if err != nil {
+		t.Fatalf("v3-fallback replay: %v", err)
+	}
+	if keyOf(got) != keyOf(want) {
+		t.Fatalf("v3-fallback verdict differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestIndexRecordingConcurrentMaterialize: many goroutines racing to
+// materialize and replay one indexed recording (run under -race) agree
+// with the eager verdict.
+func TestIndexRecordingConcurrentMaterialize(t *testing.T) {
+	data, eager, _, replay := indexFixture(t, OrderOnly)
+	want, err := replay(eager)
+	if err != nil {
+		t.Fatalf("eager replay: %v", err)
+	}
+	lazy, err := IndexRecording(data)
+	if err != nil {
+		t.Fatalf("IndexRecording: %v", err)
+	}
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	got := make([]ReplayResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%3 == 0 {
+				if err := lazy.EnsureCheckpoints(2); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			got[i], errs[i] = replay(lazy)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if keyOf(got[i]) != keyOf(want) {
+			t.Fatalf("goroutine %d verdict differs:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}

@@ -133,6 +133,22 @@ type Recording struct {
 	matMu    sync.Mutex
 	matCache map[int]map[uint32]uint64
 	matOrder []int // access order, least recent first
+
+	// Lazy-residency state (lazy.go). An IndexRecording-built recording
+	// retains its v4 frames compressed and decodes sections on first
+	// use; eagerly loaded recordings leave logLazy/ckLazy nil and every
+	// Ensure call is a no-op. lzMu guards the log section's state, ckMu
+	// the checkpoint section's; acquisition order is lzMu -> ckMu ->
+	// matMu.
+	lzMu    sync.Mutex
+	logLazy []lazyFrame // retained non-checkpoint frames; nil when eager
+	logDone bool
+	logErr  error
+	ckMu    sync.Mutex
+	ckLazy  []lazyFrame // retained checkpoint frames; nil when eager
+	ckDone  bool
+	ckErr   error
+	sizeEst int64 // summed raw frame bytes (residency cost estimate)
 }
 
 // matCacheCap bounds the materialized-image LRU. Segmented replay needs
@@ -148,6 +164,9 @@ const matCacheCap = 64
 // cached image first). The returned map is shared via an internal LRU and
 // MUST be treated as read-only. Safe for concurrent use.
 func (r *Recording) MaterializeCheckpoint(idx int) (map[uint32]uint64, error) {
+	if err := r.EnsureCheckpoints(0); err != nil {
+		return nil, err
+	}
 	if idx < 0 || idx >= len(r.Checkpoints) {
 		return nil, checkpointRange(idx, len(r.Checkpoints))
 	}
@@ -207,6 +226,7 @@ func (r *Recording) matTouch(idx int) {
 // MemOrderingRawBits returns the uncompressed memory-ordering log size in
 // bits (PI + CS + Sizes; input logs excluded, as in the paper).
 func (r *Recording) MemOrderingRawBits() int {
+	_ = r.EnsureLogs(0) // best-effort: an unmaterialized recording reports 0
 	n := 0
 	if r.PI != nil {
 		n += r.PI.RawBits()
@@ -223,6 +243,7 @@ func (r *Recording) MemOrderingRawBits() int {
 // MemOrderingCompressedBits returns the LZ77-compressed memory-ordering
 // log size in bits.
 func (r *Recording) MemOrderingCompressedBits() int {
+	_ = r.EnsureLogs(0) // best-effort: an unmaterialized recording reports 0
 	n := 0
 	if r.PI != nil {
 		n += r.PI.CompressedBits()
@@ -239,6 +260,7 @@ func (r *Recording) MemOrderingCompressedBits() int {
 // PIRawBits and CSRawBits split the raw log for the figures' stacked
 // bars.
 func (r *Recording) PIRawBits() int {
+	_ = r.EnsureLogs(0) // best-effort: an unmaterialized recording reports 0
 	if r.PI == nil {
 		return 0
 	}
@@ -247,6 +269,7 @@ func (r *Recording) PIRawBits() int {
 
 // CSRawBits returns the total per-processor CS+size log bits.
 func (r *Recording) CSRawBits() int {
+	_ = r.EnsureLogs(0) // best-effort: an unmaterialized recording reports 0
 	n := 0
 	for _, cs := range r.CS {
 		n += cs.RawBits()
@@ -259,6 +282,7 @@ func (r *Recording) CSRawBits() int {
 
 // PICompressedBits returns the compressed PI log size.
 func (r *Recording) PICompressedBits() int {
+	_ = r.EnsureLogs(0) // best-effort: an unmaterialized recording reports 0
 	if r.PI == nil {
 		return 0
 	}
@@ -267,6 +291,7 @@ func (r *Recording) PICompressedBits() int {
 
 // CSCompressedBits returns the compressed CS (+size) log size.
 func (r *Recording) CSCompressedBits() int {
+	_ = r.EnsureLogs(0) // best-effort: an unmaterialized recording reports 0
 	n := 0
 	for _, cs := range r.CS {
 		n += cs.CompressedBits()

@@ -333,6 +333,9 @@ type ReplayOptions struct {
 // builds all engine state per call, so concurrent replays of the same
 // recording are safe and produce identical verdicts.
 func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOptions) (ReplayResult, error) {
+	if err := rec.EnsureLogs(opts.Parallel); err != nil {
+		return ReplayResult{}, err
+	}
 	if err := rec.Validate(); err != nil {
 		return ReplayResult{}, err
 	}
@@ -348,7 +351,10 @@ func Replay(rec *Recording, cfg sim.Config, progs []*isa.Program, opts ReplayOpt
 		if opts.UseStratified {
 			return ReplayResult{}, fmt.Errorf("core: segmented replay cannot enforce a stratified log")
 		}
-		if len(rec.Checkpoints) > 0 {
+		if rec.CheckpointCount() > 0 {
+			if err := rec.EnsureCheckpoints(opts.ReplayParallel); err != nil {
+				return ReplayResult{}, err
+			}
 			return replaySegmented(rec, cfg, progs, opts)
 		}
 		// No checkpoints to partition at: plain sequential replay below.

@@ -104,6 +104,11 @@ func (r *Recording) WriteTo(w io.Writer) (int64, error) {
 // compatibility tests can regenerate v3 fixtures and older readers stay
 // servable.
 func (r *Recording) WriteToV3(w io.Writer) (int64, error) {
+	// A lazily loaded recording decodes its checkpoint section before
+	// serialization walks it.
+	if err := r.EnsureCheckpoints(0); err != nil {
+		return 0, err
+	}
 	bw := bufio.NewWriter(w)
 	c := &countingWriter{w: bw}
 
@@ -481,24 +486,22 @@ func ReadRecording(src io.Reader) (*Recording, error) {
 	return ReadRecordingParallel(src, 0)
 }
 
-// ReadRecordingParallel is ReadRecording with an explicit decode worker
-// count for v4 recordings (0: host default, 1: fully sequential; v2/v3
-// always decode sequentially). The resulting recording is identical at
-// any worker count.
-func ReadRecordingParallel(src io.Reader, workers int) (*Recording, error) {
-	d := &reader{r: bufio.NewReader(src)}
-
+// readHeader parses the common container header — magic through the
+// stats words, identical across v2/v3/v4 — returning a recording with
+// only the header fields populated plus the container version. Shared
+// by the full readers and the v4 index pass (IndexRecording).
+func readHeader(d *reader) (*Recording, uint16, error) {
 	var magic [4]byte
 	d.read(magic[:])
 	if d.err != nil {
-		return nil, corrupt("short header: %v", d.err)
+		return nil, 0, corrupt("short header: %v", d.err)
 	}
 	if string(magic[:]) != recMagic {
-		return nil, corrupt("not a DeLorean recording (magic %q)", magic)
+		return nil, 0, corrupt("not a DeLorean recording (magic %q)", magic)
 	}
 	version := d.u16()
 	if version != 2 && version != recVersion && version != recVersionV4 {
-		return nil, corrupt("unsupported recording version %d", version)
+		return nil, 0, corrupt("unsupported recording version %d", version)
 	}
 
 	r := &Recording{
@@ -509,10 +512,10 @@ func ReadRecordingParallel(src io.Reader, workers int) (*Recording, error) {
 	r.NProcs = int(d.u16())
 	r.ChunkSize = int(d.u32())
 	if d.err == nil && (r.NProcs <= 0 || r.NProcs > 1024 || r.ChunkSize <= 0 || r.ChunkSize > maxChunkSize) {
-		return nil, corrupt("implausible header (%d procs, chunk %d)", r.NProcs, r.ChunkSize)
+		return nil, 0, corrupt("implausible header (%d procs, chunk %d)", r.NProcs, r.ChunkSize)
 	}
 	if d.err == nil && (r.Mode < OrderSize || r.Mode > PicoLog) {
-		return nil, corrupt("unknown mode %d", int(r.Mode))
+		return nil, 0, corrupt("unknown mode %d", int(r.Mode))
 	}
 	r.Fingerprint = d.u64()
 	r.FinalMemHash = d.u64()
@@ -527,7 +530,20 @@ func ReadRecordingParallel(src io.Reader, workers int) (*Recording, error) {
 	r.Stats.Cycles = d.u64()
 	r.Stats.Converged = true
 	if d.err != nil {
-		return nil, corrupt("truncated recording: %v", d.err)
+		return nil, 0, corrupt("truncated recording: %v", d.err)
+	}
+	return r, version, nil
+}
+
+// ReadRecordingParallel is ReadRecording with an explicit decode worker
+// count for v4 recordings (0: host default, 1: fully sequential; v2/v3
+// always decode sequentially). The resulting recording is identical at
+// any worker count.
+func ReadRecordingParallel(src io.Reader, workers int) (*Recording, error) {
+	d := &reader{r: bufio.NewReader(src)}
+	r, version, err := readHeader(d)
+	if err != nil {
+		return nil, err
 	}
 
 	// The common header ends at the stats words; v4 switches to the

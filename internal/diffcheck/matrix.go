@@ -151,6 +151,7 @@ func checkMode(rep *Report, seed uint64, opts Options, cfg sim.Config, mode core
 		return
 	}
 	saveLoadOracle(rep, mode, rec, base)
+	lazyResidency(rep, cfg, mode, progs, rec, base)
 
 	// Oracle: every simulator worker count produces the byte-identical
 	// recording and identical stats.
@@ -242,6 +243,42 @@ func saveLoadOracle(rep *Report, mode core.Mode, rec *core.Recording, base []byt
 	}
 	if b := serialize(rep, mode, got); b != nil {
 		rep.check(bytes.Equal(b, base), "%v: v3 round trip re-encodes differently", mode)
+	}
+}
+
+// lazyResidency checks the on-demand residency path the serving daemon
+// relies on: an index-only recording (frame headers parsed, payloads
+// left compressed) must replay to the same verdict as the eagerly
+// decoded one, survive a Release/rematerialize cycle bit-identically,
+// and re-serialize to the canonical bytes.
+func lazyResidency(rep *Report, cfg sim.Config, mode core.Mode, progs []*isa.Program,
+	rec *core.Recording, base []byte) {
+	want, err := core.Replay(rec, core.ReplayConfig(cfg), progs, core.ReplayOptions{})
+	if err != nil {
+		rep.failf("%v: lazy oracle: eager replay: %v", mode, err)
+		return
+	}
+	lazy, err := core.IndexRecording(base)
+	if err != nil {
+		rep.failf("%v: lazy oracle: IndexRecording: %v", mode, err)
+		return
+	}
+	for _, pass := range []string{"indexed", "rematerialized"} {
+		got, err := core.Replay(lazy, core.ReplayConfig(cfg), progs, core.ReplayOptions{})
+		if err != nil {
+			rep.failf("%v: lazy oracle: %s replay: %v", mode, pass, err)
+			return
+		}
+		rep.check(got.Matches(rec), "%v: lazy oracle: %s replay does not match recording", mode, pass)
+		rep.check(got.Fingerprint == want.Fingerprint && got.MemHash == want.MemHash &&
+			got.Stats.Insts == want.Stats.Insts && got.Stats.Cycles == want.Stats.Cycles,
+			"%v: lazy oracle: %s verdict differs from eager replay", mode, pass)
+		if pass == "indexed" {
+			lazy.ReleaseLogs() // evict back to canonical bytes, then replay again
+		}
+	}
+	if b := serialize(rep, mode, lazy); b != nil {
+		rep.check(bytes.Equal(b, base), "%v: lazy oracle: re-serialization differs from canonical bytes", mode)
 	}
 }
 

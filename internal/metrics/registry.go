@@ -42,6 +42,18 @@ func (r *Registry) Set(name string, v float64) {
 	r.vals[name] = v
 }
 
+// SetMax raises the named counter to v if v is greater (creating it at
+// v) — a high-water-mark gauge, e.g. the serving store's peak resident
+// bytes.
+func (r *Registry) SetMax(name string, v float64) {
+	if r == nil {
+		return
+	}
+	if cur, ok := r.vals[name]; !ok || v > cur {
+		r.vals[name] = v
+	}
+}
+
 // Get returns the named counter's value (0 when absent).
 func (r *Registry) Get(name string) float64 {
 	if r == nil {

@@ -129,3 +129,25 @@ func TestWriteCounters(t *testing.T) {
 		t.Errorf("WriteCounters(nil snapshot) = %v", err)
 	}
 }
+
+func TestSetMax(t *testing.T) {
+	r := NewRegistry()
+	r.SetMax("peak", 5)
+	if got := r.Get("peak"); got != 5 {
+		t.Fatalf("SetMax on absent counter: %v, want 5", got)
+	}
+	r.SetMax("peak", 3)
+	if got := r.Get("peak"); got != 5 {
+		t.Fatalf("SetMax must not lower: %v, want 5", got)
+	}
+	r.SetMax("peak", 9)
+	if got := r.Get("peak"); got != 9 {
+		t.Fatalf("SetMax must raise: %v, want 9", got)
+	}
+	r.SetMax("neg", -2)
+	if got := r.Get("neg"); got != -2 {
+		t.Fatalf("SetMax with negative seed: %v, want -2", got)
+	}
+	var nilReg *Registry
+	nilReg.SetMax("x", 1) // must not panic
+}

@@ -1,0 +1,74 @@
+package runner
+
+import "sync"
+
+// Flight is keyed single-flight coordination with explicit completion:
+// the first Join for a key becomes the leader and must eventually call
+// Finish; everyone else gets the same Call and waits on Done/Result.
+// Unlike Memo, a Flight caches nothing — once the leader finishes, the
+// key is forgotten and the next Join starts a fresh flight — and
+// waiters can abandon the wait (select on Done against their own
+// context) without disturbing the leader. That separation is what a
+// result cache needs: the cache layer decides what to store; the Flight
+// only collapses concurrent identical computations. The zero value is
+// ready to use.
+type Flight[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*Call[K, V]
+}
+
+// Call is one in-flight computation. The leader fills it via Finish;
+// everyone blocks on Done or Result.
+type Call[K comparable, V any] struct {
+	f    *Flight[K, V]
+	key  K
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// Join returns the call for key, creating it if none is in flight. The
+// boolean reports leadership: true means the caller created the call
+// and MUST call Finish exactly once, false means another goroutine is
+// computing and the caller should wait on Done/Result.
+func (f *Flight[K, V]) Join(key K) (*Call[K, V], bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.m[key]; ok {
+		return c, false
+	}
+	if f.m == nil {
+		f.m = make(map[K]*Call[K, V])
+	}
+	c := &Call[K, V]{f: f, key: key, done: make(chan struct{})}
+	f.m[key] = c
+	return c, true
+}
+
+// Finish publishes the leader's result to every waiter and retires the
+// key, so a later Join starts a new flight. Must be called exactly once,
+// by the leader.
+func (c *Call[K, V]) Finish(v V, err error) {
+	c.f.mu.Lock()
+	delete(c.f.m, c.key)
+	c.f.mu.Unlock()
+	c.v, c.err = v, err
+	close(c.done)
+}
+
+// Done is closed once the leader finished. Waiters select on it against
+// their own cancellation signal.
+func (c *Call[K, V]) Done() <-chan struct{} { return c.done }
+
+// Result blocks until the leader finished and returns its result.
+func (c *Call[K, V]) Result() (V, error) {
+	<-c.done
+	return c.v, c.err
+}
+
+// InFlight reports how many keys currently have a leader computing.
+func (f *Flight[K, V]) InFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// benchDo issues one request and returns status + body; testing.TB
+// keeps it usable from both tests and benchmarks.
+func benchDo(tb testing.TB, method, url string, body []byte) (int, []byte) {
+	tb.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func benchReplay(tb testing.TB, base, id string) []byte {
+	tb.Helper()
+	status, body := benchDo(tb, "POST", base+"/v1/recordings/"+id+"/replay", []byte(`{"perturb_seed":1}`))
+	if status != http.StatusOK {
+		tb.Fatalf("replay: %d: %s", status, body)
+	}
+	return body
+}
+
+func benchClearCache(tb testing.TB, base string) {
+	tb.Helper()
+	if status, body := benchDo(tb, "DELETE", base+"/v1/cache", nil); status != http.StatusOK {
+		tb.Fatalf("cache clear: %d: %s", status, body)
+	}
+}
+
+// benchServer boots a server seeded with the golden recording and
+// returns its base URL and the recording id.
+func benchServer(tb testing.TB, cfg Config) (string, string) {
+	tb.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hs := httptest.NewServer(s)
+	tb.Cleanup(func() { hs.Close(); s.Drain() })
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		tb.Fatalf("golden fixture: %v", err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/recordings?"+goldenQuery, "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		tb.Fatalf("seed upload: %d: %s", resp.StatusCode, body)
+	}
+	var rj recordingJSON
+	if err := json.Unmarshal(body, &rj); err != nil {
+		tb.Fatal(err)
+	}
+	return hs.URL, rj.ID
+}
+
+// BenchmarkServeReplayCold measures the uncached verdict path: every
+// iteration clears the verdict cache first, so the replay runs the
+// simulator end to end.
+func BenchmarkServeReplayCold(b *testing.B) {
+	base, id := benchServer(b, Config{})
+	benchReplay(b, base, id) // warm residency so both variants measure the same store state
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchClearCache(b, base)
+		benchReplay(b, base, id)
+	}
+}
+
+// BenchmarkServeReplayHot measures the cached verdict path: after one
+// priming replay, every request is served from the verdict cache
+// without touching the simulator.
+func BenchmarkServeReplayHot(b *testing.B) {
+	base, id := benchServer(b, Config{})
+	benchReplay(b, base, id)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchReplay(b, base, id)
+	}
+}
+
+// TestServeBenchArtifact measures serving throughput hot vs cold plus
+// index-only startup time, writes BENCH_serve.json to $BENCH_SERVE_OUT,
+// and gates the cached hot path at >= 5x the cold path. Skipped unless
+// BENCH_SERVE_OUT is set (CI's bench job sets it).
+func TestServeBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_OUT")
+	if out == "" {
+		t.Skip("BENCH_SERVE_OUT not set")
+	}
+
+	// Seed a persistent store, then time a fresh index-only boot on it.
+	dir := t.TempDir()
+	seeder, hsSeed := newTestServer(t, Config{Dir: dir})
+	id := uploadGolden(t, hsSeed.URL)
+	e, ok := seeder.store.get(id)
+	if !ok {
+		t.Fatal("seeded entry missing")
+	}
+	storeBytes := len(e.data)
+
+	startupStart := time.Now()
+	booted, err := New(Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startupNS := time.Since(startupStart).Nanoseconds()
+	hs := httptest.NewServer(booted)
+	t.Cleanup(func() { hs.Close(); booted.Drain() })
+
+	median := func(ns []int64) int64 {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		return ns[len(ns)/2]
+	}
+	timeit := func(fn func()) int64 {
+		start := time.Now()
+		fn()
+		return time.Since(start).Nanoseconds()
+	}
+
+	const coldRuns, hotRuns = 5, 25
+	var coldNS, hotNS []int64
+	for i := 0; i < coldRuns; i++ {
+		benchClearCache(t, hs.URL)
+		coldNS = append(coldNS, timeit(func() { benchReplay(t, hs.URL, id) }))
+	}
+	for i := 0; i < hotRuns; i++ {
+		hotNS = append(hotNS, timeit(func() { benchReplay(t, hs.URL, id) }))
+	}
+
+	cold, hot := median(coldNS), median(hotNS)
+	speedup := float64(cold) / float64(hot)
+	report := map[string]any{
+		"cold_replay_ns": cold,
+		"hot_replay_ns":  hot,
+		"speedup":        speedup,
+		"cold_qps":       1e9 / float64(cold),
+		"hot_qps":        1e9 / float64(hot),
+		"startup_ns":     startupNS,
+		"store_bytes":    storeBytes,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serve bench: cold %dns hot %dns speedup %.1fx startup %dns store %dB",
+		cold, hot, speedup, startupNS, storeBytes)
+	if speedup < 5 {
+		t.Fatalf("hot cached replay only %.2fx faster than cold, want >= 5x", speedup)
+	}
+}

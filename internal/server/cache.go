@@ -1,0 +1,154 @@
+package server
+
+import (
+	"sync"
+
+	"delorean/internal/runner"
+)
+
+// The verdict cache exploits DeLorean's core property: a recorded
+// execution replays deterministically, so for a content-addressed
+// recording the verdict (and the Perfetto trace) is a pure function of
+// (recording id, replay parameters). The cache stores the rendered
+// response bytes — not the ReplayResult — so a hit is served
+// byte-identical to the cold response without touching the simulator,
+// and a single-flight layer (runner.Flight) collapses N concurrent
+// identical requests into one simulation whose result every waiter
+// shares.
+//
+// Errors are never cached: a cancelled or timed-out computation must
+// not poison the key for later, healthier clients. Divergent verdicts
+// ARE cached — a divergence is a well-formed, deterministic 200
+// response, and re-simulating would reproduce it.
+
+// cacheKey identifies one deterministic computation: the recording
+// (content-addressed, so bytes and spec are implied), the kind of
+// output, and every replay parameter that reaches the simulator.
+type cacheKey struct {
+	id    string
+	kind  string // "replay" | "trace"
+	seed  uint64
+	strat bool
+	par   int
+}
+
+// cachedVerdict is a rendered response: the exact JSON bytes the cold
+// path wrote, plus whether the verdict was divergent (so hits bump the
+// replays.divergent counter the same way misses do).
+type cachedVerdict struct {
+	body      []byte
+	divergent bool
+}
+
+// verdictCache is an LRU-bounded map from cacheKey to rendered
+// responses, with a single-flight joiner for in-flight computations.
+// Bounded twice: by entry count and by summed body bytes (trace bodies
+// dwarf verdict bodies).
+type verdictCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu    sync.Mutex
+	m     map[cacheKey]cachedVerdict
+	order []cacheKey // access order, least recent first
+	bytes int64
+
+	flight runner.Flight[cacheKey, cachedVerdict]
+}
+
+func newVerdictCache(maxEntries int, maxBytes int64) *verdictCache {
+	return &verdictCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		m:          make(map[cacheKey]cachedVerdict),
+	}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *verdictCache) get(key cacheKey) (cachedVerdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if ok {
+		c.touchLocked(key)
+	}
+	return v, ok
+}
+
+func (c *verdictCache) touchLocked(key cacheKey) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// put stores a rendered response and evicts least-recently-used entries
+// until both bounds hold again, reporting how many were evicted. A body
+// larger than the whole byte budget is not cached at all (it would only
+// evict everything and then miss next time anyway).
+func (c *verdictCache) put(key cacheKey, v cachedVerdict) (evicted int) {
+	if int64(len(v.body)) > c.maxBytes {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.m[key]; ok {
+		c.bytes -= int64(len(old.body))
+		c.touchLocked(key)
+	} else {
+		c.order = append(c.order, key)
+	}
+	c.m[key] = v
+	c.bytes += int64(len(v.body))
+	for len(c.order) > 1 && (len(c.order) > c.maxEntries || c.bytes > c.maxBytes) {
+		oldest := c.order[0]
+		if oldest == key {
+			break // never evict the entry just inserted
+		}
+		c.order = c.order[1:]
+		c.bytes -= int64(len(c.m[oldest].body))
+		delete(c.m, oldest)
+		evicted++
+	}
+	return evicted
+}
+
+// invalidate drops every cached response for the recording id (admin
+// DELETE), reporting how many entries were removed.
+func (c *verdictCache) invalidate(id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	keep := c.order[:0]
+	for _, k := range c.order {
+		if k.id == id {
+			c.bytes -= int64(len(c.m[k].body))
+			delete(c.m, k)
+			n++
+		} else {
+			keep = append(keep, k)
+		}
+	}
+	c.order = keep
+	return n
+}
+
+// clear drops everything (admin DELETE /v1/cache).
+func (c *verdictCache) clear() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.m)
+	c.m = make(map[cacheKey]cachedVerdict)
+	c.order = nil
+	c.bytes = 0
+	return n
+}
+
+// stats reports current occupancy for the metrics surface.
+func (c *verdictCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m), c.bytes
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// recordResidency records one small recording on the server and returns
+// its id. Distinct seeds produce distinct content-addressed entries.
+func recordResidency(t *testing.T, base string, seed uint64) string {
+	t.Helper()
+	spec := map[string]any{
+		"workload": goldenWorkload, "procs": 2, "scale": 120, "seed": seed,
+		"mode": "orderonly", "chunk_size": 150, "checkpoint_every": 10,
+	}
+	resp, body := doJSON(t, "POST", base+"/v1/recordings", spec)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("record seed=%d: %d: %s", seed, resp.StatusCode, body)
+	}
+	var rj recordingJSON
+	if err := json.Unmarshal(body, &rj); err != nil {
+		t.Fatal(err)
+	}
+	return rj.ID
+}
+
+// TestResidencyBudgetSoak is the residency acceptance check: with a
+// byte budget smaller than the store's total materialized size, a soak
+// across every recording keeps peak resident bytes within the budget —
+// entries are evicted back to canonical bytes and re-materialized on
+// demand — and every verdict stays bit-identical across that churn.
+func TestResidencyBudgetSoak(t *testing.T) {
+	dir := t.TempDir()
+
+	// Seed the store and measure each entry's materialized-size estimate
+	// with an unbudgeted server.
+	seeder, hsSeed := newTestServer(t, Config{Dir: dir})
+	ids := []string{recordResidency(t, hsSeed.URL, 1), recordResidency(t, hsSeed.URL, 2)}
+	if ids[0] == ids[1] {
+		t.Fatal("distinct seeds collided to one id")
+	}
+	var maxEst, totalEst int64
+	for _, id := range ids {
+		e, ok := seeder.store.get(id)
+		if !ok {
+			t.Fatalf("seeded id %s missing", id)
+		}
+		if e.est <= 0 {
+			t.Fatalf("entry %s has no size estimate", id)
+		}
+		totalEst += e.est
+		if e.est > maxEst {
+			maxEst = e.est
+		}
+	}
+	if maxEst >= totalEst {
+		t.Fatalf("fixture too small to force eviction: max %d total %d", maxEst, totalEst)
+	}
+
+	// Budget: one recording resident at a time, never both.
+	s, hs := newTestServer(t, Config{Dir: dir, Workers: 4, QueueDepth: 64, ResidencyBudget: maxEst})
+	for _, id := range ids {
+		e, ok := s.store.get(id)
+		if !ok {
+			t.Fatalf("budgeted server did not load %s", id)
+		}
+		if e.rec.Materialized() {
+			t.Fatalf("%s materialized at startup; startup must be index-only", id)
+		}
+	}
+
+	seeds := []uint64{3, 11, 29}
+	want := make(map[string][]byte) // id/seed -> verdict body
+	for round := 0; round < 3; round++ {
+		// Clear the verdict cache so every replay exercises residency
+		// (a cache hit never touches the recording).
+		if resp, body := doJSON(t, "DELETE", hs.URL+"/v1/cache", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("cache clear: %d: %s", resp.StatusCode, body)
+		}
+		for _, id := range ids { // alternating ids forces eviction churn
+			for _, seed := range seeds {
+				resp, body := doJSON(t, "POST", hs.URL+"/v1/recordings/"+id+"/replay",
+					map[string]any{"perturb_seed": seed})
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("round %d replay %s seed %d: %d: %s", round, id, seed, resp.StatusCode, body)
+				}
+				k := fmt.Sprintf("%s/%d", id, seed)
+				if prev, ok := want[k]; ok {
+					if !bytes.Equal(prev, body) {
+						t.Fatalf("verdict for %s changed after eviction/rematerialization:\nwas %s\nnow %s", k, prev, body)
+					}
+				} else {
+					want[k] = body
+				}
+			}
+		}
+	}
+
+	st := s.store.stats()
+	if st.peak > maxEst {
+		t.Fatalf("peak resident bytes %d exceeded budget %d", st.peak, maxEst)
+	}
+	if st.evictions == 0 {
+		t.Fatal("soak over budget never evicted")
+	}
+	if st.materializations < int64(len(ids)) {
+		t.Fatalf("only %d materializations for %d ids", st.materializations, len(ids))
+	}
+	if st.overcommits != 0 {
+		t.Fatalf("%d overcommits with a budget that fits each entry", st.overcommits)
+	}
+	wantMetric(t, hs.URL, fmt.Sprintf("store.resident_budget %d", maxEst))
+
+	// Concurrent burst across both recordings under the same budget:
+	// acquires must serialize residency without deadlock, and the peak
+	// gauge must hold under -race churn.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := ids[i%len(ids)]
+			resp, body := doJSON(t, "POST", hs.URL+"/v1/recordings/"+id+"/replay",
+				map[string]any{"perturb_seed": uint64(100 + i)})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("burst %d: %d: %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := s.store.stats(); st.peak > maxEst {
+		t.Fatalf("concurrent burst pushed peak %d over budget %d", st.peak, maxEst)
+	}
+}
+
+// TestResidencyOvercommit: a budget smaller than any single recording
+// still serves replays — one entry at a time overcommits rather than
+// deadlocking — and says so on the overcommit counter.
+func TestResidencyOvercommit(t *testing.T) {
+	s, hs := newTestServer(t, Config{ResidencyBudget: 1})
+	id := recordResidency(t, hs.URL, 7)
+
+	var verdicts [2][]byte
+	for i := range verdicts {
+		if resp, body := doJSON(t, "DELETE", hs.URL+"/v1/cache", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("cache clear: %d: %s", resp.StatusCode, body)
+		}
+		resp, body := doJSON(t, "POST", hs.URL+"/v1/recordings/"+id+"/replay", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replay %d under 1-byte budget: %d: %s", i, resp.StatusCode, body)
+		}
+		verdicts[i] = body
+	}
+	if !bytes.Equal(verdicts[0], verdicts[1]) {
+		t.Fatal("overcommitted verdicts differ")
+	}
+	if st := s.store.stats(); st.overcommits == 0 {
+		t.Fatal("1-byte budget never overcommitted")
+	}
+}

@@ -6,14 +6,29 @@
 // load beyond the queue is refused with 429 instead of piling up, and a
 // cancelled or expired request stops its engine within a chunk window.
 //
-//	POST /v1/recordings              upload a container (?workload=&procs=&scale=&seed=)
-//	POST /v1/recordings              record from a JSON spec (Content-Type: application/json)
-//	GET  /v1/recordings              list stored ids
-//	GET  /v1/recordings/{id}         describe one recording
-//	POST /v1/recordings/{id}/replay  replay, returning the verdict
-//	GET  /v1/recordings/{id}/trace   replay with tracing, streaming Perfetto JSON
-//	GET  /metrics                    counter snapshot, one "name value" per line
-//	GET  /healthz                    liveness probe
+//	POST   /v1/recordings              upload a container (?workload=&procs=&scale=&seed=)
+//	POST   /v1/recordings              record from a JSON spec (Content-Type: application/json)
+//	GET    /v1/recordings              list stored ids
+//	GET    /v1/recordings/{id}         describe one recording
+//	POST   /v1/recordings/{id}/replay  replay, returning the verdict
+//	GET    /v1/recordings/{id}/trace   replay with tracing, returning Perfetto JSON
+//	DELETE /v1/recordings/{id}/cache   drop the id's cached verdicts/traces
+//	DELETE /v1/cache                   drop every cached verdict/trace
+//	GET    /metrics                    counter snapshot, one "name value" per line
+//	GET    /healthz                    readiness probe (503 + Retry-After once draining)
+//
+// The serving hot path exploits determinism twice. First, verdicts and
+// traces are pure functions of (content-addressed recording id, replay
+// parameters), so they are cached: a repeat request is answered
+// byte-for-byte identically without touching the simulator, concurrent
+// identical requests collapse into one simulation (single-flight), and
+// responses carry a strong ETag (the recording id) with
+// Cache-Control: immutable so clients and proxies can revalidate with
+// If-None-Match and get 304. Second, recordings are held index-only —
+// canonical compressed bytes plus a CRC-checked frame index — and
+// materialized into decoded logs only while replays need them, under a
+// configurable resident-byte budget (Config.ResidencyBudget) with LRU
+// eviction back to canonical bytes.
 //
 // Every request passes through a middleware stack (see middleware.go):
 // an X-Request-ID is adopted or assigned and reflected on the response,
@@ -56,6 +71,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"delorean"
@@ -83,8 +99,20 @@ type Config struct {
 	// (0: host default).
 	LoadWorkers int
 	// RetryAfter is the backoff hint sent (rounded up to whole seconds)
-	// in the Retry-After header of every 429 (default 1s).
+	// in the Retry-After header of every 429 and of the 503 a draining
+	// /healthz returns (default 1s).
 	RetryAfter time.Duration
+	// ResidencyBudget caps the bytes of materialized (decoded) recording
+	// state resident at once; recordings beyond it are evicted back to
+	// their canonical compressed bytes LRU-first and re-materialized on
+	// demand (0: unlimited).
+	ResidencyBudget int64
+	// CacheEntries bounds the verdict/trace response cache by entry
+	// count (default 256).
+	CacheEntries int
+	// CacheBytes bounds the verdict/trace response cache by summed body
+	// bytes (default 64 MiB).
+	CacheBytes int64
 	// Logger receives the structured request log and operational
 	// warnings (store load/persist failures, handler panics). Nil
 	// discards everything — tests stay quiet; deployments should pass a
@@ -93,11 +121,13 @@ type Config struct {
 }
 
 const (
-	defaultQueueDepth  = 16
-	defaultUploadCap   = 64 << 20
-	defaultReqTimeout  = 2 * time.Minute
-	defaultRetryAfter  = time.Second
-	maxRecordSpecBytes = 1 << 20
+	defaultQueueDepth   = 16
+	defaultUploadCap    = 64 << 20
+	defaultReqTimeout   = 2 * time.Minute
+	defaultRetryAfter   = time.Second
+	defaultCacheEntries = 256
+	defaultCacheBytes   = 64 << 20
+	maxRecordSpecBytes  = 1 << 20
 )
 
 // Server is the daemon. Create with New, serve via http.Server, then
@@ -106,10 +136,15 @@ const (
 type Server struct {
 	cfg   Config
 	store *store
+	cache *verdictCache
 	pool  *runner.Pool
 	mux   *http.ServeMux
 	h     http.Handler // mux behind the middleware stack
 	log   *slog.Logger
+
+	// draining flips once shutdown begins; /healthz turns 503 so load
+	// balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
 
 	// reg collects serving counters. metrics.Registry is not
 	// goroutine-safe; mu serializes handler access. The lock is only
@@ -137,12 +172,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = defaultRetryAfter
 	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = defaultCacheEntries
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = defaultCacheBytes
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
 		cfg:   cfg,
-		store: newStore(cfg.Dir),
+		store: newStore(cfg.Dir, cfg.ResidencyBudget),
+		cache: newVerdictCache(cfg.CacheEntries, cfg.CacheBytes),
 		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth),
 		mux:   http.NewServeMux(),
 		log:   cfg.Logger,
@@ -158,21 +200,29 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/recordings/{id}", s.handleDescribe)
 	s.mux.HandleFunc("POST /v1/recordings/{id}/replay", s.handleReplay)
 	s.mux.HandleFunc("GET /v1/recordings/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("DELETE /v1/recordings/{id}/cache", s.handleCacheInvalidate)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheClear)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.h = withRequestID(s.withAccessLog(s.withRecovery(s.mux)))
 	return s, nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
 
+// BeginDrain marks the server as draining: /healthz flips to 503 (with
+// a Retry-After hint) so load balancers take this instance out of
+// rotation while in-flight requests complete. Call before
+// http.Server.Shutdown; requests keep being served until Drain.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Drain stops the simulation pool after completing accepted jobs. Call
 // after http.Server.Shutdown so no in-flight handler is still waiting
 // on the pool.
-func (s *Server) Drain() { s.pool.Drain() }
+func (s *Server) Drain() {
+	s.BeginDrain()
+	s.pool.Drain()
+}
 
 func (s *Server) count(name string, d float64) {
 	s.mu.Lock()
@@ -318,16 +368,20 @@ type recordingJSON struct {
 	Stats     statsJSON `json:"stats"`
 }
 
-func describe(e *entry) recordingJSON {
+// describeWith renders the describe payload from rec, which must be
+// materialized (LogBits walks decoded logs): either the eager recording
+// a create handler just decoded, or e.rec while the caller holds an
+// acquire pin. The result is cached on the entry via primeDesc.
+func describeWith(e *entry, rec *delorean.Recording) recordingJSON {
 	return recordingJSON{
 		ID:          e.id,
 		Spec:        e.spec,
-		Mode:        e.rec.Mode().String(),
-		Checkpoints: e.rec.Checkpoints(),
-		LogBits:     e.rec.LogBits(true),
+		Mode:        rec.Mode().String(),
+		Checkpoints: rec.Checkpoints(),
+		LogBits:     rec.LogBits(true),
 		SizeBytes:   len(e.data),
 		Persisted:   e.persisted.Load(),
-		Stats:       toStatsJSON(e.rec.Stats()),
+		Stats:       toStatsJSON(rec.Stats()),
 	}
 }
 
@@ -360,6 +414,130 @@ func toVerdictJSON(id string, res delorean.ReplayResult) verdictJSON {
 			SeqID: d.SeqID, Interval: d.Interval, Detail: d.Detail}
 	}
 	return v
+}
+
+// --- response caching ---
+
+// etagFor is the strong validator for everything derived from a stored
+// recording: the store is content-addressed, so the id IS the content
+// hash and a derived response can never change under the same id.
+func etagFor(id string) string { return `"` + id + `"` }
+
+func setImmutable(w http.ResponseWriter, id string) {
+	w.Header().Set("ETag", etagFor(id))
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+}
+
+// notModified answers 304 when the client's If-None-Match covers the
+// recording's ETag, reporting whether the request is done.
+func notModified(w http.ResponseWriter, r *http.Request, id string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	match := strings.TrimSpace(inm) == "*"
+	for _, part := range strings.Split(inm, ",") {
+		if strings.TrimSpace(part) == etagFor(id) {
+			match = true
+		}
+	}
+	if !match {
+		return false
+	}
+	setImmutable(w, id)
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// writeCached writes a rendered (possibly cached) verdict or trace
+// body. The bytes were produced by the exact encoder the cold path
+// uses, so hits are byte-identical to misses.
+func (s *Server) writeCached(w http.ResponseWriter, key cacheKey, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	setImmutable(w, key.id)
+	if key.kind == "trace" {
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", key.id+".trace.json"))
+	}
+	w.WriteHeader(http.StatusOK)
+	if _, werr := w.Write(body); werr != nil && key.kind == "trace" {
+		s.count("errors.trace_stream", 1)
+	}
+}
+
+// countServed keeps the request counters cache-transparent: every
+// served verdict counts as a replay (and every divergent one as
+// divergent) whether it came from the simulator, the single-flight
+// leader, or the cache.
+func (s *Server) countServed(key cacheKey, v cachedVerdict) {
+	if key.kind == "trace" {
+		s.count("traces", 1)
+		return
+	}
+	s.count("replays", 1)
+	if v.divergent {
+		s.count("replays.divergent", 1)
+	}
+}
+
+// serveCached is the deterministic-response hot path shared by replay
+// and trace: ETag revalidation, then the verdict cache, then
+// single-flight coalescing around compute. The single-flight leader
+// computes under a detached context (bounded by RequestTimeout, not by
+// the leader's own request): a leader whose client disconnects or times
+// out must not poison the waiters piled on its flight — errors are
+// never cached, and the result is delivered to every waiter that is
+// still there.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key cacheKey,
+	compute func(ctx context.Context) (cachedVerdict, error)) {
+	if notModified(w, r, key.id) {
+		return
+	}
+	if v, ok := s.cache.get(key); ok {
+		s.count("cache.hit", 1)
+		s.countServed(key, v)
+		s.writeCached(w, key, v.body)
+		return
+	}
+	call, leader := s.cache.flight.Join(key)
+	if !leader {
+		s.count("cache.inflight_dedup", 1)
+		select {
+		case <-r.Context().Done():
+			s.fail(w, r.Context().Err())
+			return
+		case <-call.Done():
+		}
+		v, err := call.Result()
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		s.countServed(key, v)
+		s.writeCached(w, key, v.body)
+		return
+	}
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	defer cancel()
+	v, err := compute(ctx)
+	if err != nil {
+		call.Finish(v, err)
+		s.fail(w, err)
+		return
+	}
+	// Publish to the cache before retiring the flight: a request arriving
+	// between the two must find either the open flight or the cached
+	// body, never a gap that would elect a second leader.
+	s.count("cache.miss", 1)
+	if ev := s.cache.put(key, v); ev > 0 {
+		s.count("cache.evicted", float64(ev))
+	}
+	call.Finish(v, nil)
+	s.countServed(key, v)
+	s.writeCached(w, key, v.body)
 }
 
 // --- handlers ---
@@ -467,9 +645,18 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		if err = ctx.Err(); err != nil {
 			return
 		}
+		// Store the recording index-only over its canonical bytes: the
+		// eager decode above already validated it, so the stored form can
+		// start cold and materialize on first replay, under the budget.
+		idx, xerr := delorean.IndexRecording(canonical, delorean.Config{}, wl)
+		if xerr != nil {
+			err = xerr
+			return
+		}
 		var id string
-		id, created, persistErr = s.store.put(rec, spec, canonical)
+		id, created, persistErr = s.store.put(idx, spec, canonical)
 		e, _ = s.store.get(id)
+		e.primeDesc(describeWith(e, rec))
 	})
 	if jobErr != nil {
 		s.fail(w, jobErr)
@@ -486,7 +673,8 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.count("store.recordings", 1)
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, describe(e))
+	d, _ := e.cachedDesc()
+	writeJSON(w, status, d)
 }
 
 // notePersist records a degraded write-through: the recording is in the
@@ -551,9 +739,15 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 			err = cerr
 			return
 		}
+		idx, xerr := delorean.IndexRecording(canonical, delorean.Config{}, wl)
+		if xerr != nil {
+			err = xerr
+			return
+		}
 		var id string
-		id, created, persistErr = s.store.put(rec, rs.Spec, canonical)
+		id, created, persistErr = s.store.put(idx, rs.Spec, canonical)
 		e, _ = s.store.get(id)
+		e.primeDesc(describeWith(e, rec))
 	})
 	if jobErr != nil {
 		s.fail(w, jobErr)
@@ -570,7 +764,8 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 		s.count("store.recordings", 1)
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, describe(e))
+	d, _ := e.cachedDesc()
+	writeJSON(w, status, d)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -592,7 +787,25 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, describe(e))
+	if notModified(w, r, e.id) {
+		return
+	}
+	d, ok := e.cachedDesc()
+	if !ok {
+		// Entry restored index-only at startup: LogBits needs decoded
+		// logs, so materialize under the budget once and cache the result.
+		ctx, cancel := s.reqCtx(r)
+		defer cancel()
+		if aerr := s.store.acquire(ctx, e, s.cfg.LoadWorkers); aerr != nil {
+			s.fail(w, aerr)
+			return
+		}
+		e.primeDesc(describeWith(e, e.rec))
+		s.store.release(e)
+		d, _ = e.cachedDesc()
+	}
+	setImmutable(w, e.id)
+	writeJSON(w, http.StatusOK, d)
 }
 
 // replaySpec is the replay request body (an empty body replays
@@ -616,64 +829,107 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx, cancel := s.reqCtx(r)
-	defer cancel()
-	var res delorean.ReplayResult
-	jobErr := s.submit(func() {
-		res, err = e.rec.Replay(delorean.ReplayWith{
-			PerturbSeed:   rs.PerturbSeed,
-			UseStratified: rs.UseStratified,
-			Parallel:      rs.Parallel,
-			Ctx:           ctx,
-		})
+	key := cacheKey{id: e.id, kind: "replay", seed: rs.PerturbSeed, strat: rs.UseStratified, par: rs.Parallel}
+	s.serveCached(w, r, key, func(ctx context.Context) (cachedVerdict, error) {
+		if aerr := s.store.acquire(ctx, e, s.cfg.LoadWorkers); aerr != nil {
+			return cachedVerdict{}, aerr
+		}
+		defer s.store.release(e)
+		var res delorean.ReplayResult
+		var rerr error
+		if jobErr := s.submit(func() {
+			res, rerr = e.rec.Replay(delorean.ReplayWith{
+				PerturbSeed:   rs.PerturbSeed,
+				UseStratified: rs.UseStratified,
+				Parallel:      rs.Parallel,
+				Ctx:           ctx,
+			})
+		}); jobErr != nil {
+			return cachedVerdict{}, jobErr
+		}
+		if rerr != nil {
+			return cachedVerdict{}, rerr
+		}
+		// Render through the same encoder writeJSON uses, so cached hits
+		// are byte-identical (trailing newline included) to cold misses.
+		// A divergence is a well-formed verdict, not a transport error:
+		// it renders, caches, and serves as a 200 like any other.
+		var buf bytes.Buffer
+		if jerr := json.NewEncoder(&buf).Encode(toVerdictJSON(e.id, res)); jerr != nil {
+			return cachedVerdict{}, jerr
+		}
+		return cachedVerdict{body: buf.Bytes(), divergent: !res.Deterministic}, nil
 	})
-	if jobErr != nil {
-		s.fail(w, jobErr)
-		return
-	}
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	s.count("replays", 1)
-	if !res.Deterministic {
-		s.count("replays.divergent", 1)
-	}
-	// A divergence is a well-formed verdict, not a transport error: 200.
-	writeJSON(w, http.StatusOK, toVerdictJSON(e.id, res))
 }
 
-// handleTrace replays the recording with timeline capture and streams
+// handleTrace replays the recording with timeline capture and returns
 // the Perfetto (chrome trace_event) JSON. Loaded recordings carry no
 // trace of their original run, so the trace is always produced by a
-// fresh deterministic replay.
+// deterministic replay — which also makes the rendered bytes pure and
+// cacheable under the same (id, params) key scheme as verdicts.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	e, err := s.lookup(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	ctx, cancel := s.reqCtx(r)
-	defer cancel()
-	var tr *delorean.ExecTrace
-	jobErr := s.submit(func() {
-		_, tr, err = e.rec.ReplayTraced(delorean.ReplayWith{Ctx: ctx})
+	key := cacheKey{id: e.id, kind: "trace"}
+	s.serveCached(w, r, key, func(ctx context.Context) (cachedVerdict, error) {
+		if aerr := s.store.acquire(ctx, e, s.cfg.LoadWorkers); aerr != nil {
+			return cachedVerdict{}, aerr
+		}
+		defer s.store.release(e)
+		var tr *delorean.ExecTrace
+		var terr error
+		if jobErr := s.submit(func() {
+			_, tr, terr = e.rec.ReplayTraced(delorean.ReplayWith{Ctx: ctx})
+		}); jobErr != nil {
+			return cachedVerdict{}, jobErr
+		}
+		if terr != nil {
+			return cachedVerdict{}, terr
+		}
+		var buf bytes.Buffer
+		if werr := tr.WritePerfetto(&buf); werr != nil {
+			return cachedVerdict{}, werr
+		}
+		return cachedVerdict{body: buf.Bytes()}, nil
 	})
-	if jobErr != nil {
-		s.fail(w, jobErr)
-		return
-	}
+}
+
+// handleCacheInvalidate drops every cached verdict and trace for one
+// recording — the admin escape hatch when a cached response must be
+// recomputed (e.g. after a simulator fix changes verdict rendering).
+func (s *Server) handleCacheInvalidate(w http.ResponseWriter, r *http.Request) {
+	e, err := s.lookup(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	s.count("traces", 1)
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", e.id+".trace.json"))
-	if werr := tr.WritePerfetto(w); werr != nil {
-		// Headers are gone; all we can do is abort the stream.
-		s.count("errors.trace_stream", 1)
+	n := s.cache.invalidate(e.id)
+	s.count("cache.invalidated", float64(n))
+	writeJSON(w, http.StatusOK, map[string]int{"invalidated": n})
+}
+
+// handleCacheClear drops the whole verdict cache.
+func (s *Server) handleCacheClear(w http.ResponseWriter, _ *http.Request) {
+	n := s.cache.clear()
+	s.count("cache.invalidated", float64(n))
+	writeJSON(w, http.StatusOK, map[string]int{"invalidated": n})
+}
+
+// handleHealthz is the readiness probe: 200 while serving, 503 with a
+// Retry-After hint once BeginDrain has been called, so orchestrators
+// stop routing new work here while in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
 	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
 }
 
 // handleMetrics snapshots the registry under the lock and writes the
@@ -681,9 +937,24 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // scraper's read loop, and a stalled scraper must not block every
 // handler's count().
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Snapshot the store and cache before taking s.mu: both have their
+	// own locks, and a fixed acquisition order (theirs, then ours) keeps
+	// the gauges deadlock-free against handlers that count() while
+	// holding neither.
+	st := s.store.stats()
+	entries, cacheBytes := s.cache.stats()
 	s.mu.Lock()
 	s.reg.Set("queue.depth", float64(s.pool.Queued()))
 	s.reg.Set("queue.running", float64(s.pool.Running()))
+	s.reg.Set("store.resident_bytes", float64(st.resident))
+	s.reg.Set("store.resident_budget", float64(st.budget))
+	s.reg.SetMax("store.resident_bytes_peak", float64(st.peak))
+	s.reg.Set("store.materializations", float64(st.materializations))
+	s.reg.Set("store.evictions", float64(st.evictions))
+	s.reg.Set("store.overcommits", float64(st.overcommits))
+	s.reg.Set("store.persist_attempts", float64(s.store.persistAttempts.Load()))
+	s.reg.Set("cache.entries", float64(entries))
+	s.reg.Set("cache.bytes", float64(cacheBytes))
 	snap := s.reg.Snapshot()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
